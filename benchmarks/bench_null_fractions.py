@@ -1,0 +1,64 @@
+"""§7.1 robustness — 50% and 80% null-marker fractions.
+
+The paper: "We also run experiments where 50% and 80% of the tuples in C
+featured null markers in the foreign key columns, but the performances
+were very similar in each case."  This benchmark replays the Bounded /
+Hybrid comparison under all three fractions.
+"""
+
+import pytest
+
+from repro.bench import harness
+from repro.core import IndexStructure
+from repro.query import dml
+from repro.query.predicate import equalities
+from repro.workloads.synthetic import delete_stream, insert_stream
+
+from conftest import micro_config  # noqa: F401  (prepared_cells comes from conftest)
+
+FRACTIONS = [0.25, 0.5, 0.8]
+STRUCTURES = [IndexStructure.HYBRID, IndexStructure.BOUNDED]
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS, ids=lambda f: f"null{int(f*100)}")
+@pytest.mark.parametrize("structure", STRUCTURES, ids=lambda s: s.label)
+def test_delete_by_null_fraction(benchmark, prepared_cells, structure, fraction):
+    cell = prepared_cells(structure, null_fraction=fraction)
+    keys = iter(delete_stream(cell.dataset, 30, seed=22))
+    key_columns = cell.fk.key_columns
+    benchmark.pedantic(
+        lambda key: dml.delete_where(cell.db, "P",
+                                     equalities(key_columns, key)),
+        setup=lambda: ((next(keys),), {}),
+        rounds=25,
+    )
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS, ids=lambda f: f"null{int(f*100)}")
+@pytest.mark.parametrize("structure", STRUCTURES, ids=lambda s: s.label)
+def test_insert_by_null_fraction(benchmark, prepared_cells, structure, fraction):
+    cell = prepared_cells(structure, null_fraction=fraction)
+    rows = iter(insert_stream(cell.dataset, 110, seed=22))
+    child = cell.fk.child_table
+    benchmark.pedantic(
+        lambda row: dml.insert(cell.db, child, row),
+        setup=lambda: ((next(rows),), {}),
+        rounds=100,
+    )
+
+
+def test_bounded_beats_hybrid_deletes_at_every_fraction(prepared_cells):
+    """The paper's robustness claim, as a pass/fail assertion on the
+    deterministic cost counters."""
+    for fraction in FRACTIONS:
+        costs = {}
+        for structure in STRUCTURES:
+            cell = prepared_cells(structure, null_fraction=fraction)
+            db = cell.db
+            db.tracker.reset()
+            for key in delete_stream(cell.dataset, 10, seed=23):
+                dml.delete_where(db, "P",
+                                 equalities(cell.fk.key_columns, key))
+            costs[structure] = (db.tracker["rows_examined"]
+                                + db.tracker["rows_fetched"])
+        assert costs[IndexStructure.BOUNDED] < costs[IndexStructure.HYBRID], fraction

@@ -1,0 +1,57 @@
+"""Table 1 — execution time for insertion with a 5-column foreign key.
+
+Microbenchmarks: one child-table insert under every §6.2 index structure
+plus the built-in simple-semantics baseline.  Sweep: the full size grid,
+written to results/table1.txt.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.core import IndexStructure
+from repro.query import dml
+from repro.workloads.synthetic import insert_stream
+
+from conftest import bench_plan, record_result
+
+STRUCTURES = [
+    IndexStructure.NO_INDEX,
+    IndexStructure.FULL,
+    IndexStructure.SINGLETON,
+    IndexStructure.HYBRID,
+    IndexStructure.POWERSET,
+    IndexStructure.BOUNDED,
+]
+
+ROUNDS = 120
+
+
+@pytest.mark.parametrize("structure", STRUCTURES, ids=lambda s: s.label)
+def test_insert_partial_semantics(benchmark, prepared_cells, structure):
+    cell = prepared_cells(structure)
+    rows = iter(insert_stream(cell.dataset, ROUNDS + 10, seed=1))
+    child = cell.fk.child_table
+
+    benchmark.pedantic(
+        lambda row: dml.insert(cell.db, child, row),
+        setup=lambda: ((next(rows),), {}),
+        rounds=ROUNDS,
+    )
+
+
+def test_insert_simple_semantics_baseline(benchmark, prepared_cells):
+    cell = prepared_cells(IndexStructure.FULL, simple=True)
+    rows = iter(insert_stream(cell.dataset, ROUNDS + 10, seed=1))
+    child = cell.fk.child_table
+
+    benchmark.pedantic(
+        lambda row: dml.insert(cell.db, child, row),
+        setup=lambda: ((next(rows),), {}),
+        rounds=ROUNDS,
+    )
+
+
+def test_table1_sweep(benchmark):
+    """Run the full experiment once; rendering goes to results/."""
+    result = benchmark.pedantic(lambda: experiments.table1_insertions(bench_plan()), rounds=1, iterations=1)
+    record_result(result)

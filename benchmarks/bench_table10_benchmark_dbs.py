@@ -1,0 +1,139 @@
+"""Tables 9 and 10 — the benchmark databases: TPC-H, TPC-C, Gene Ontology.
+
+Table 9 is the static description of the four tested foreign keys;
+Table 10 measures insert/delete enforcement per structure on each, after
+Missing-at-Random null injection.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import experiments
+from repro.core import EnforcedForeignKey, IndexStructure
+from repro.query import dml
+from repro.query.predicate import equalities
+from repro.workloads import (
+    TpccConfig,
+    TpchConfig,
+    generate_tpcc,
+    generate_tpch,
+    inject_nulls,
+)
+
+from conftest import bench_plan, record_result
+
+STRUCTURES = [IndexStructure.HYBRID, IndexStructure.BOUNDED]
+
+
+@pytest.fixture(scope="module")
+def tpch_cells():
+    cache = {}
+
+    def get(structure):
+        if structure not in cache:
+            ds = generate_tpch(TpchConfig(parts=400, suppliers=100,
+                                          lineitems=8000))
+            inject_nulls(ds.db.table("lineitem"),
+                         ds.fk.fk_columns, 0.15)
+            EnforcedForeignKey.create(ds.db, ds.fk, structure)
+            cache[structure] = ds
+        return cache[structure]
+
+    return get
+
+
+@pytest.fixture(scope="module")
+def tpcc_cells():
+    cache = {}
+
+    def get(structure):
+        if structure not in cache:
+            ds = generate_tpcc(TpccConfig(warehouses=2,
+                                          districts_per_warehouse=10,
+                                          customers_per_district=40))
+            inject_nulls(ds.db.table("orders"),
+                         ds.fk_orders_customer.fk_columns, 0.15)
+            EnforcedForeignKey.create(ds.db, ds.fk_orders_customer, structure)
+            cache[structure] = ds
+        return cache[structure]
+
+    return get
+
+
+@pytest.mark.parametrize("structure", STRUCTURES, ids=lambda s: s.label)
+def test_tpch_insert_lineitem(benchmark, tpch_cells, structure):
+    ds = tpch_cells(structure)
+    rng = random.Random(13)
+    counter = iter(range(10_000))
+
+    def make_row():
+        part, supp = ds.partsupp_keys[rng.randrange(len(ds.partsupp_keys))]
+        return ((900_000 + next(counter), 1, part, supp, 5),), {}
+
+    benchmark.pedantic(
+        lambda row: dml.insert(ds.db, "lineitem", row),
+        setup=make_row, rounds=80,
+    )
+
+
+@pytest.mark.parametrize("structure", STRUCTURES, ids=lambda s: s.label)
+def test_tpch_delete_partsupp(benchmark, tpch_cells, structure):
+    ds = tpch_cells(structure)
+    rng = random.Random(14)
+    victims = iter(dict.fromkeys(
+        ds.partsupp_keys[rng.randrange(len(ds.partsupp_keys))]
+        for __ in range(500)
+    ))
+    benchmark.pedantic(
+        lambda key: dml.delete_where(
+            ds.db, "partsupp",
+            equalities(("ps_partkey", "ps_suppkey"), key)),
+        setup=lambda: ((next(victims),), {}),
+        rounds=30,
+    )
+
+
+@pytest.mark.parametrize("structure", STRUCTURES, ids=lambda s: s.label)
+def test_tpcc_insert_orders(benchmark, tpcc_cells, structure):
+    ds = tpcc_cells(structure)
+    rng = random.Random(15)
+    counter = iter(range(10_000))
+
+    def make_row():
+        w, d, c = ds.customer_keys[rng.randrange(len(ds.customer_keys))]
+        return ((w, d, 900_000 + next(counter), c, 1),), {}
+
+    benchmark.pedantic(
+        lambda row: dml.insert(ds.db, "orders", row),
+        setup=make_row, rounds=80,
+    )
+
+
+@pytest.mark.parametrize("structure", STRUCTURES, ids=lambda s: s.label)
+def test_tpcc_delete_customer(benchmark, tpcc_cells, structure):
+    ds = tpcc_cells(structure)
+    rng = random.Random(16)
+    victims = iter(dict.fromkeys(
+        ds.customer_keys[rng.randrange(len(ds.customer_keys))]
+        for __ in range(500)
+    ))
+    benchmark.pedantic(
+        lambda key: dml.delete_where(
+            ds.db, "customer",
+            equalities(("c_w_id", "c_d_id", "c_id"), key)),
+        setup=lambda: ((next(victims),), {}),
+        rounds=25,
+    )
+
+
+def test_table9_sweep(benchmark):
+    """Run the full experiment once; rendering goes to results/."""
+    result = benchmark.pedantic(lambda: experiments.table9_benchmark_details(), rounds=1, iterations=1)
+    record_result(result)
+
+
+def test_table10_sweep(benchmark):
+    """Run the full experiment once; rendering goes to results/."""
+    result = benchmark.pedantic(lambda: experiments.table10_benchmark_dbs(bench_plan()), rounds=1, iterations=1)
+    record_result(result)

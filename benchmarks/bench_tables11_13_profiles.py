@@ -1,0 +1,85 @@
+"""Tables 11, 12 and 13 — structure profiles and transaction comparison.
+
+Table 11 profiles Bounded (index build for C and P, per-op times across
+sizes); Table 12 does the same for Hybrid+nSingle; Table 13 runs the
+transaction batches under all four ablation structures plus the simple-
+semantics baseline.
+"""
+
+import pytest
+
+from repro.bench import experiments, harness
+from repro.core import IndexStructure
+from repro.query import dml
+from repro.query.predicate import equalities
+from repro.workloads.synthetic import delete_stream, insert_stream
+
+from conftest import bench_plan, micro_config, record_result
+
+PROFILED = [IndexStructure.BOUNDED, IndexStructure.HYBRID_NSINGLE]
+
+
+@pytest.mark.parametrize("structure", PROFILED, ids=lambda s: s.label)
+def test_profile_insert(benchmark, prepared_cells, structure):
+    cell = prepared_cells(structure)
+    rows = iter(insert_stream(cell.dataset, 110, seed=12))
+    child = cell.fk.child_table
+    benchmark.pedantic(
+        lambda row: dml.insert(cell.db, child, row),
+        setup=lambda: ((next(rows),), {}),
+        rounds=100,
+    )
+
+
+@pytest.mark.parametrize("structure", PROFILED, ids=lambda s: s.label)
+def test_profile_delete(benchmark, prepared_cells, structure):
+    cell = prepared_cells(structure)
+    keys = iter(delete_stream(cell.dataset, 30, seed=12))
+    parent = cell.fk.parent_table
+    key_columns = cell.fk.key_columns
+    benchmark.pedantic(
+        lambda key: dml.delete_where(cell.db, parent,
+                                     equalities(key_columns, key)),
+        setup=lambda: ((next(keys),), {}),
+        rounds=25,
+    )
+
+
+TXN_STRUCTURES = [
+    IndexStructure.HYBRID,
+    IndexStructure.HYBRID_COMPOUND,
+    IndexStructure.HYBRID_NSINGLE,
+    IndexStructure.BOUNDED,
+]
+
+
+@pytest.mark.parametrize("structure", TXN_STRUCTURES, ids=lambda s: s.label)
+def test_table13_transaction_deletes(benchmark, structure):
+    def make_txn():
+        cell = harness.prepare_cell(micro_config(), structure)
+        keys = delete_stream(cell.dataset, 20)
+        parent = cell.fk.parent_table
+        key_columns = cell.fk.key_columns
+
+        def txn():
+            with cell.db.begin():
+                for key in keys:
+                    dml.delete_where(cell.db, parent,
+                                     equalities(key_columns, key))
+
+        return txn
+
+    benchmark.pedantic(lambda txn: txn(),
+                       setup=lambda: ((make_txn(),), {}), rounds=2)
+
+
+def test_table11_12_sweep(benchmark):
+    """Run the full experiment once; rendering goes to results/."""
+    result = benchmark.pedantic(lambda: experiments.table11_12_profiles(bench_plan()), rounds=1, iterations=1)
+    record_result(result)
+
+
+def test_table13_sweep(benchmark):
+    """Run the full experiment once; rendering goes to results/."""
+    result = benchmark.pedantic(lambda: experiments.table13_transaction_structures(bench_plan()), rounds=1, iterations=1)
+    record_result(result)

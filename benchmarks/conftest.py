@@ -1,0 +1,81 @@
+"""Shared benchmark fixtures and result recording.
+
+Every benchmark module does two things:
+
+1. **pytest-benchmark microbenchmarks** — the atomic operation of its
+   experiment (one insert / one delete) per index structure, so
+   ``pytest benchmarks/ --benchmark-only`` prints a ranked comparison
+   whose ordering is the paper's table.
+2. **a sweep test** — runs the full experiment via
+   :mod:`repro.bench.experiments` and writes the paper-style rendering to
+   ``benchmarks/results/<experiment>.txt`` (also echoed to stdout).
+
+Scale knobs: REPRO_SCALE / REPRO_OPS / REPRO_QUICK (see repro.bench.scale).
+The benchmark defaults are sized so the whole directory finishes in a few
+minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import harness
+from repro.bench.scale import ScalePlan
+from repro.core import IndexStructure
+from repro.workloads.synthetic import SyntheticConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Parent-table size for the microbenchmarks (kept moderate so every
+#: structure builds quickly; the sweeps use the ScalePlan grid).
+MICRO_PARENT_ROWS = int(os.environ.get("REPRO_MICRO_ROWS", "4000"))
+
+
+def micro_config(n_columns: int = 5, **overrides) -> SyntheticConfig:
+    return SyntheticConfig(
+        n_columns=n_columns, parent_rows=MICRO_PARENT_ROWS, **overrides
+    )
+
+
+@pytest.fixture(scope="module")
+def prepared_cells():
+    """Memoised PreparedCell per (structure, n, simple) for one module."""
+    cache: dict = {}
+
+    def get(structure: IndexStructure, n_columns: int = 5, simple: bool = False,
+            **overrides):
+        key = (structure, n_columns, simple, tuple(sorted(overrides.items())))
+        if key not in cache:
+            cache[key] = harness.prepare_cell(
+                micro_config(n_columns, **overrides), structure, simple=simple
+            )
+        return cache[key]
+
+    return get
+
+
+def bench_plan() -> ScalePlan:
+    """The sweep plan for in-pytest experiment runs: quick by default."""
+    from repro.bench.scale import default_plan
+
+    plan = default_plan()
+    if os.environ.get("REPRO_FULL", "0") in ("0", "", "false"):
+        plan = ScalePlan(
+            scale=max(plan.scale, 1000),
+            insert_ops=min(plan.insert_ops, 80),
+            delete_ops=min(plan.delete_ops, 20),
+            quick=True,
+        )
+    return plan
+
+
+def record_result(result) -> None:
+    """Write an experiment rendering to benchmarks/results/ and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.experiment_id}.txt"
+    path.write_text(result.render() + "\n")
+    print()
+    print(result.render())

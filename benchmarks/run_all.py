@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Run every reproduction experiment and write results/ + a summary.
+
+Usage::
+
+    python benchmarks/run_all.py            # default scale (1/1000)
+    REPRO_SCALE=500 REPRO_OPS=300 python benchmarks/run_all.py
+
+This is the full-fidelity path behind EXPERIMENTS.md; the pytest-benchmark
+modules in this directory are the per-experiment microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import experiments
+from repro.bench.scale import default_plan
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def main() -> int:
+    plan = default_plan()
+    print(f"scale plan: {plan}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    started = time.perf_counter()
+    for experiment in experiments.ALL_EXPERIMENTS:
+        name = experiment.__name__
+        t0 = time.perf_counter()
+        if experiment is experiments.table9_benchmark_details:
+            result = experiment()
+        else:
+            result = experiment(plan)
+        elapsed = time.perf_counter() - t0
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n")
+        print(f"[{elapsed:7.1f}s] {name} -> {path}")
+        print(result.render())
+        print()
+    print(f"total: {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Index advisor: compare index structures for *your* foreign key.
+
+The paper's recommendation is workload-dependent: Bounded (2n + 2
+indexes) for foreign keys of 3+ columns, Hybrid for 2-column keys on
+large data (§7.2/Figure 6).  This example measures all candidate
+structures against a synthetic stand-in for a user-described foreign key
+and prints a ranked recommendation, including load/build cost and the
+logical costs that explain each ranking.
+
+Run:  python examples/index_advisor.py [n_columns] [parent_rows]
+"""
+
+import sys
+
+from repro.bench import harness
+from repro.bench.report import format_table
+from repro.core import IndexStructure, index_count
+from repro.query import dml
+from repro.query.predicate import equalities
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    delete_stream,
+    insert_stream,
+)
+
+CANDIDATES = (
+    IndexStructure.FULL,
+    IndexStructure.SINGLETON,
+    IndexStructure.HYBRID,
+    IndexStructure.HYBRID_COMPOUND,
+    IndexStructure.HYBRID_NSINGLE,
+    IndexStructure.POWERSET,
+    IndexStructure.BOUNDED,
+)
+
+
+def evaluate(structure: IndexStructure, config: SyntheticConfig,
+             inserts: int, deletes: int) -> dict:
+    cell = harness.prepare_cell(config, structure)
+    db = cell.db
+    insert_rows = insert_stream(cell.dataset, inserts)
+    tracker = db.tracker
+    tracker.reset()
+    ins = harness.run_insert_cell(cell, rows=insert_rows)
+    dels = harness.run_delete_cell(
+        cell, keys=delete_stream(cell.dataset, deletes)
+    )
+    return {
+        "structure": structure.label,
+        "indexes": index_count(cell.fk, structure),
+        "build_s": cell.build.total_s,
+        "insert_ms": ins.avg_ms,
+        "delete_ms": dels.avg_ms,
+        "full_scans": ins.cost["full_scans"] + dels.cost["full_scans"],
+        "maintenance": (ins.cost["index_maintenance_ops"]
+                        + dels.cost["index_maintenance_ops"]),
+    }
+
+
+def main() -> None:
+    n_columns = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    parent_rows = int(sys.argv[2]) if len(sys.argv) > 2 else 6000
+    config = SyntheticConfig(n_columns=n_columns, parent_rows=parent_rows)
+    print(f"advising for an {n_columns}-column foreign key, "
+          f"~{parent_rows} parent rows / {config.child_rows} child rows\n")
+
+    results = [evaluate(s, config, inserts=120, deletes=20) for s in CANDIDATES]
+
+    # Rank by a blended update cost (the paper's workloads are a mix of
+    # inserts and deletes; deletes dominate enforcement cost).
+    for r in results:
+        r["score"] = r["insert_ms"] + r["delete_ms"]
+    results.sort(key=lambda r: r["score"])
+
+    print(format_table(
+        "Candidate index structures (best first)",
+        ["Structure", "#idx", "Build (s)", "Insert avg (ms)",
+         "Delete avg (ms)", "Full scans", "Maint. ops"],
+        [[r["structure"], r["indexes"], r["build_s"], r["insert_ms"],
+          r["delete_ms"], r["full_scans"], r["maintenance"]]
+         for r in results],
+    ))
+    best = results[0]
+    print(f"\nrecommendation: {best['structure']} "
+          f"({best['indexes']} indexes, "
+          f"one-time build {best['build_s']:.2f}s)")
+    if n_columns == 2:
+        print("note: for 2-column keys the paper finds Hybrid competitive "
+              "on large data sets (Figure 6); Powerset coincides with Bounded.")
+    else:
+        print("note: the paper's recommendation for 3+ column keys is "
+              "Bounded — one compound index plus one index per column on "
+              "each of the referencing and referenced tables.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""A SQL shell over the engine, with MATCH PARTIAL support.
+
+Interactive when run on a terminal (statements end with ';', 'quit' to
+exit); otherwise replays a scripted demo of the paper's running example
+so the output is reproducible in CI.
+
+Run:  python examples/sql_repl.py
+"""
+
+import sys
+
+from repro.errors import ReproError
+from repro.sql import SqlSession
+
+DEMO_SCRIPT = """
+CREATE TABLE tour (
+  tour_id TEXT NOT NULL,
+  site_code TEXT NOT NULL,
+  site_name TEXT,
+  PRIMARY KEY (tour_id, site_code)
+);
+CREATE TABLE booking (
+  visitor_id INTEGER NOT NULL,
+  tour_id TEXT,
+  site_code TEXT,
+  day TEXT,
+  FOREIGN KEY (tour_id, site_code) REFERENCES tour (tour_id, site_code)
+    MATCH PARTIAL ON DELETE SET NULL WITH STRUCTURE bounded
+);
+INSERT INTO tour VALUES
+  ('GCG','OR','O''Reilly''s'),
+  ('BRT','OR','O''Reilly''s'),
+  ('BRT','MV','Movie World'),
+  ('RF','BB','Binna Burra'),
+  ('RF','OR','O''Reilly''s');
+INSERT INTO booking VALUES (1001, 'BRT', 'OR', 'Nov 21');
+INSERT INTO booking VALUES (1008, NULL, 'BB', 'Sep 5');
+INSERT INTO booking VALUES (1011, 'RF', NULL, 'Oct 5');
+-- the two violating rows of Example 1 are vetoed:
+INSERT INTO booking VALUES (1006, 'BRF', NULL, 'Sep 19');
+INSERT INTO booking VALUES (1012, NULL, 'BR', 'Nov 2');
+SELECT tour_id, site_code FROM booking;
+EXPLAIN SELECT * FROM booking WHERE site_code = 'BB' AND tour_id IS NULL;
+DELETE FROM tour WHERE tour_id = 'RF' AND site_code = 'OR';
+SELECT * FROM booking WHERE visitor_id = 1011;
+DELETE FROM tour WHERE tour_id = 'RF' AND site_code = 'BB';
+SELECT * FROM booking WHERE visitor_id = 1011;
+SHOW TABLES;
+CHECK DATABASE;
+"""
+
+
+def run_statement(session: SqlSession, sql: str) -> None:
+    sql = sql.strip()
+    if not sql:
+        return
+    print(f"sql> {sql}")
+    try:
+        for result in session.execute(sql):
+            rendered = result.render()
+            if rendered:
+                print(rendered)
+    except ReproError as exc:
+        print(f"ERROR: {type(exc).__name__}: {exc}")
+    print()
+
+
+def demo() -> None:
+    session = SqlSession()
+    statement = []
+    for line in DEMO_SCRIPT.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("--") or not stripped:
+            continue
+        statement.append(line)
+        if stripped.endswith(";"):
+            run_statement(session, "\n".join(statement))
+            statement = []
+
+
+def repl() -> None:
+    session = SqlSession()
+    print("repro SQL shell — MATCH PARTIAL supported. "
+          "End statements with ';', 'quit' to exit.")
+    buffer: list[str] = []
+    while True:
+        try:
+            prompt = "sql> " if not buffer else "...> "
+            line = input(prompt)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return
+        if line.strip().lower() in ("quit", "exit", r"\q"):
+            return
+        buffer.append(line)
+        if line.rstrip().endswith(";"):
+            sql = "\n".join(buffer)
+            buffer = []
+            try:
+                for result in session.execute(sql):
+                    rendered = result.render()
+                    if rendered:
+                        print(rendered)
+            except ReproError as exc:
+                print(f"ERROR: {type(exc).__name__}: {exc}")
+
+
+if __name__ == "__main__":
+    if sys.stdin.isatty():
+        repl()
+    else:
+        demo()

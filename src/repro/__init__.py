@@ -1,0 +1,117 @@
+"""repro — a reproduction of *Index Design for Enforcing Partial
+Referential Integrity Efficiently* (Memari & Link, EDBT 2015).
+
+The package provides:
+
+* a pure-Python relational engine (tables, B+ tree / hash indexes,
+  cost-based access-path planning, triggers, transactions),
+* foreign keys under the SQL MATCH semantics — SIMPLE, PARTIAL, FULL —
+  with all five referential actions,
+* the paper's index structures (Full, Singleton, Hybrid, Powerset,
+  Bounded, plus the §7.5 ablations and the §9 prefix-compound option),
+* the intelligent update and query services that impute missing
+  foreign-key values from matching parents, and
+* workload generators and a benchmark harness that regenerate every
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        Database, Column, DataType, NULL,
+        ForeignKey, MatchSemantics, EnforcedForeignKey, IndexStructure,
+    )
+
+    db = Database()
+    db.create_table("tour", [
+        Column("tour_id", DataType.TEXT, nullable=False),
+        Column("site_code", DataType.TEXT, nullable=False),
+        Column("site_name", DataType.TEXT),
+    ])
+    db.create_table("booking", [
+        Column("visitor_id", DataType.INTEGER, nullable=False),
+        Column("tour_id", DataType.TEXT),
+        Column("site_code", DataType.TEXT),
+        Column("day", DataType.TEXT),
+    ])
+    fk = ForeignKey(
+        "fk_booking_tour", "booking", ("tour_id", "site_code"),
+        "tour", ("tour_id", "site_code"), match=MatchSemantics.PARTIAL,
+    )
+    EnforcedForeignKey.create(db, fk, structure=IndexStructure.BOUNDED)
+"""
+
+from .constraints import (
+    CandidateKey,
+    EnforcementMode,
+    ForeignKey,
+    MatchSemantics,
+    PrimaryKey,
+    ReferentialAction,
+    check_database,
+)
+from .core import (
+    EnforcedForeignKey,
+    IndexStructure,
+    augmented_select,
+    insertion_alternatives,
+    intelligent_delete_method1,
+    intelligent_delete_method2,
+    intelligent_insert,
+)
+from .errors import (
+    IntegrityError,
+    KeyViolation,
+    ReferentialIntegrityViolation,
+    ReproError,
+    RestrictViolation,
+)
+from .indexes import IndexDefinition, IndexKind
+from .nulls import NULL, is_subsumed_by, is_total
+from .query import ALWAYS, And, Cmp, Eq, IsNotNull, IsNull, Not, Or, equalities
+from .sql import SqlSession
+from .storage import Column, Database, DataType, Table, TableSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CandidateKey",
+    "EnforcementMode",
+    "ForeignKey",
+    "MatchSemantics",
+    "PrimaryKey",
+    "ReferentialAction",
+    "check_database",
+    "EnforcedForeignKey",
+    "IndexStructure",
+    "augmented_select",
+    "insertion_alternatives",
+    "intelligent_delete_method1",
+    "intelligent_delete_method2",
+    "intelligent_insert",
+    "IntegrityError",
+    "KeyViolation",
+    "ReferentialIntegrityViolation",
+    "ReproError",
+    "RestrictViolation",
+    "IndexDefinition",
+    "IndexKind",
+    "NULL",
+    "is_subsumed_by",
+    "is_total",
+    "ALWAYS",
+    "And",
+    "Cmp",
+    "Eq",
+    "IsNotNull",
+    "IsNull",
+    "Not",
+    "Or",
+    "equalities",
+    "SqlSession",
+    "Column",
+    "Database",
+    "DataType",
+    "Table",
+    "TableSchema",
+    "__version__",
+]

@@ -1,0 +1,144 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``repl``                — the SQL shell (see examples/sql_repl.py)
+* ``demo``                — the paper's Example 1 walked through end to end
+* ``advisor N ROWS``      — rank index structures for an N-column FK
+* ``experiment ID``       — run one reproduction experiment (table1, fig9, ...)
+* ``experiments``         — list available experiment ids
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _run_repl() -> int:
+    from .errors import ReproError
+    from .sql import SqlSession
+
+    session = SqlSession()
+    print("repro SQL shell — MATCH PARTIAL supported. "
+          "End statements with ';', 'quit' to exit.")
+    buffer: list[str] = []
+    while True:
+        try:
+            line = input("sql> " if not buffer else "...> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if line.strip().lower() in ("quit", "exit"):
+            return 0
+        buffer.append(line)
+        if line.rstrip().endswith(";"):
+            sql = "\n".join(buffer)
+            buffer = []
+            try:
+                for result in session.execute(sql):
+                    rendered = result.render()
+                    if rendered:
+                        print(rendered)
+            except ReproError as exc:
+                print(f"ERROR: {type(exc).__name__}: {exc}")
+
+
+def _run_demo() -> int:
+    from .constraints import check_database
+    from .errors import ReferentialIntegrityViolation
+    from .sql import SqlSession
+
+    session = SqlSession()
+    session.execute("""
+        CREATE TABLE tour (tour_id TEXT NOT NULL, site_code TEXT NOT NULL,
+            site_name TEXT, PRIMARY KEY (tour_id, site_code));
+        CREATE TABLE booking (visitor_id INTEGER NOT NULL, tour_id TEXT,
+            site_code TEXT, day TEXT,
+            FOREIGN KEY (tour_id, site_code)
+                REFERENCES tour (tour_id, site_code)
+                MATCH PARTIAL ON DELETE SET NULL WITH STRUCTURE bounded);
+        INSERT INTO tour VALUES ('GCG','OR','O''Reilly''s'),
+            ('BRT','OR','O''Reilly''s'), ('BRT','MV','Movie World'),
+            ('RF','BB','Binna Burra'), ('RF','OR','O''Reilly''s');
+        INSERT INTO booking VALUES (1001,'BRT','OR','Nov 21'),
+            (1008, NULL, 'BB', 'Sep 5'), (1011, 'RF', NULL, 'Oct 5');
+    """)
+    print("Example 1 loaded; partial referential integrity enforced "
+          "(Bounded structure).")
+    try:
+        session.execute("INSERT INTO booking VALUES (1006,'BRF',NULL,'Sep 19')")
+    except ReferentialIntegrityViolation as exc:
+        print(f"veto: {exc}")
+    print(session.execute_one("SELECT tour_id, site_code FROM booking").render())
+    print(f"violations: {len(check_database(session.db))}")
+    return 0
+
+
+def _run_advisor(argv: list[str]) -> int:
+    sys.argv = ["advisor"] + argv
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "examples" / "index_advisor.py"
+    if not path.exists():
+        print("examples/index_advisor.py not found", file=sys.stderr)
+        return 1
+    spec = importlib.util.spec_from_file_location("index_advisor", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+def _run_experiment(name: str) -> int:
+    from .bench import experiments
+
+    lookup = {fn.__name__: fn for fn in experiments.ALL_EXPERIMENTS}
+    # also accept the short experiment ids (table1, fig9, ...): the first
+    # underscore-separated chunk of each function name
+    short = {fn.__name__.split("_")[0]: fn for fn in experiments.ALL_EXPERIMENTS
+             if fn.__name__.split("_")[0] not in ("tables", "prefix")}
+    short["tables678"] = experiments.tables6_7_8_unique_parents
+    short["prefix_compound"] = experiments.prefix_compound_ablation
+    fn = lookup.get(name) or short.get(name)
+    if fn is None:
+        print(f"unknown experiment {name!r}; try one of:", file=sys.stderr)
+        _list_experiments()
+        return 1
+    print(fn().render())
+    return 0
+
+
+def _list_experiments() -> int:
+    from .bench import experiments
+
+    for fn in experiments.ALL_EXPERIMENTS:
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {fn.__name__:32s} {doc}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "repl":
+        return _run_repl()
+    if command == "demo":
+        return _run_demo()
+    if command == "advisor":
+        return _run_advisor(rest)
+    if command == "experiment" and rest:
+        return _run_experiment(rest[0])
+    if command == "experiments":
+        return _list_experiments()
+    print(f"unknown command {command!r}", file=sys.stderr)
+    print(__doc__)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Benchmark harness: measurement, scaling, reporting, experiments."""
+
+from .harness import (
+    SIMPLE_BASELINE,
+    PreparedCell,
+    prepare_cell,
+    run_delete_cell,
+    run_insert_cell,
+    run_transaction_cell,
+    structure_label,
+)
+from .measure import Measurement, measure_block, measure_ops
+from .report import format_series, format_table, ratio_note
+from .scale import ScalePlan, default_plan
+
+__all__ = [
+    "SIMPLE_BASELINE",
+    "PreparedCell",
+    "prepare_cell",
+    "run_delete_cell",
+    "run_insert_cell",
+    "run_transaction_cell",
+    "structure_label",
+    "Measurement",
+    "measure_block",
+    "measure_ops",
+    "format_series",
+    "format_table",
+    "ratio_note",
+    "ScalePlan",
+    "default_plan",
+]

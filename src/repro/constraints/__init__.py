@@ -1,0 +1,26 @@
+"""Integrity constraints: keys, foreign keys, actions, bulk checking."""
+
+from .actions import ReferentialAction
+from .checker import (
+    Violation,
+    check_candidate_key,
+    check_database,
+    check_foreign_key,
+    satisfies_partial_semantics,
+)
+from .foreign_key import EnforcementMode, ForeignKey, MatchSemantics
+from .keys import CandidateKey, PrimaryKey
+
+__all__ = [
+    "ReferentialAction",
+    "Violation",
+    "check_candidate_key",
+    "check_database",
+    "check_foreign_key",
+    "satisfies_partial_semantics",
+    "EnforcementMode",
+    "ForeignKey",
+    "MatchSemantics",
+    "CandidateKey",
+    "PrimaryKey",
+]

@@ -1,0 +1,28 @@
+"""Referential actions of the SQL standard.
+
+"Based on the SQL standard, CASCADE, SET NULL, SET DEFAULT, RESTRICT and
+NO ACTION are available referential actions" (paper, §3).  The paper's
+experiments uniformly use SET NULL (§6.1); all five are implemented.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ReferentialAction(str, Enum):
+    """What happens to children when their parent is deleted/updated."""
+
+    NO_ACTION = "no_action"
+    RESTRICT = "restrict"
+    CASCADE = "cascade"
+    SET_NULL = "set_null"
+    SET_DEFAULT = "set_default"
+
+    @property
+    def rejects(self) -> bool:
+        """True for the actions that veto the parent mutation."""
+        return self in (ReferentialAction.NO_ACTION, ReferentialAction.RESTRICT)
+
+    def sql(self) -> str:
+        return self.name.replace("_", " ")

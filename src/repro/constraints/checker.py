@@ -1,0 +1,115 @@
+"""Whole-database integrity validation.
+
+The DML layer enforces constraints incrementally; this module checks a
+*given* database state from scratch.  It is used by tests (to prove that
+incremental enforcement and bulk validation agree), by the workload
+generators (to certify generated data), and by users after bulk loads
+with enforcement disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..nulls import NULL, is_subsumed_by, is_total
+from ..query import executor
+from ..storage.database import Database
+from .foreign_key import ForeignKey, MatchSemantics
+from .keys import CandidateKey
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected integrity violation."""
+
+    constraint: str
+    table: str
+    rid: int
+    row: tuple[Any, ...]
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.constraint} on {self.table} rid={self.rid}: {self.reason}"
+
+
+def check_candidate_key(db: Database, key: CandidateKey) -> list[Violation]:
+    """Find rows duplicating a total key value."""
+    table = db.table(key.table)
+    seen: dict[tuple[Any, ...], int] = {}
+    violations: list[Violation] = []
+    for rid, row in table.scan():
+        values = key.key_values(row)
+        if any(v is NULL for v in values):
+            if key.requires_not_null:
+                violations.append(
+                    Violation(key.name, key.table, rid, row, "NULL in primary key")
+                )
+            continue
+        if values in seen:
+            violations.append(
+                Violation(
+                    key.name, key.table, rid, row,
+                    f"duplicate key {values!r} (first at rid {seen[values]})",
+                )
+            )
+        else:
+            seen[values] = rid
+    return violations
+
+
+def check_foreign_key(db: Database, fk: ForeignKey) -> list[Violation]:
+    """Find child rows violating *fk* under its MATCH semantics."""
+    child = db.table(fk.child_table)
+    violations: list[Violation] = []
+    for rid, row in child.scan():
+        child_fk = fk.child_values(row)
+        reason = _violation_reason(db, fk, child_fk)
+        if reason is not None:
+            violations.append(Violation(fk.name, fk.child_table, rid, row, reason))
+    return violations
+
+
+def _violation_reason(
+    db: Database, fk: ForeignKey, child_fk: tuple[Any, ...]
+) -> str | None:
+    if fk.row_violates_shape(child_fk):
+        return f"MATCH FULL forbids partially-null value {child_fk!r}"
+    if fk.row_satisfiable_without_lookup(child_fk):
+        return None
+    if fk.match is MatchSemantics.SIMPLE and not is_total(child_fk):
+        return None
+    predicate = fk.parent_match_predicate(child_fk)
+    if executor.exists(db, fk.parent_table, predicate):
+        return None
+    kind = "matching" if is_total(child_fk) else "subsuming"
+    return f"no {kind} parent for {child_fk!r}"
+
+
+def check_database(db: Database) -> list[Violation]:
+    """Validate every declared key and foreign key of *db*."""
+    violations: list[Violation] = []
+    for keys in db.candidate_keys.values():
+        for key in keys:
+            violations.extend(check_candidate_key(db, key))
+    for fk in db.foreign_keys:
+        violations.extend(check_foreign_key(db, fk))
+    return violations
+
+
+def satisfies_partial_semantics(db: Database, fk: ForeignKey) -> bool:
+    """Direct definition check of partial semantics (paper §3).
+
+    Independent implementation (pure subsumption scan, no planner) used
+    by property tests as the oracle for the enforcement machinery.
+    """
+    parent_keys = [
+        fk.parent_values(row) for __, row in db.table(fk.parent_table).scan()
+    ]
+    for __, row in db.table(fk.child_table).scan():
+        child_fk = fk.child_values(row)
+        if all(v is NULL for v in child_fk):
+            continue
+        if not any(is_subsumed_by(child_fk, pk) for pk in parent_keys):
+            return False
+    return True

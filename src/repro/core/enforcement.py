@@ -1,0 +1,104 @@
+"""The paper's contribution as one object: an enforced foreign key.
+
+:class:`EnforcedForeignKey` ties together a declared foreign key, an
+index structure (§6.2) and the enforcement mechanism appropriate to its
+MATCH semantics:
+
+* MATCH SIMPLE / FULL — the native DML check (what MySQL's built-in
+  foreign keys do, the paper's baseline);
+* MATCH PARTIAL — the generated trigger set of §6.1.
+
+It is the main entry point of the public API::
+
+    efk = EnforcedForeignKey.create(
+        db, fk, structure=IndexStructure.BOUNDED
+    )
+    ...
+    efk.switch_structure(IndexStructure.HYBRID)   # re-index in place
+    efk.drop()                                    # remove everything
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..constraints.foreign_key import EnforcementMode, ForeignKey, MatchSemantics
+from ..indexes.definition import IndexKind
+from ..triggers import partial_ri
+from .strategies import IndexStructure, apply_structure, remove_structure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.database import Database
+
+
+class EnforcedForeignKey:
+    """A foreign key actively enforced under a chosen index structure."""
+
+    def __init__(
+        self,
+        db: "Database",
+        fk: ForeignKey,
+        structure: IndexStructure,
+        index_kind: IndexKind,
+        index_names: list[str],
+    ) -> None:
+        self.db = db
+        self.fk = fk
+        self.structure = structure
+        self.index_kind = index_kind
+        self.index_names = index_names
+        self._active = True
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        db: "Database",
+        fk: ForeignKey,
+        structure: IndexStructure = IndexStructure.BOUNDED,
+        index_kind: IndexKind = IndexKind.BTREE,
+    ) -> "EnforcedForeignKey":
+        """Register *fk*, build the index structure, wire up enforcement."""
+        if fk not in db.foreign_keys:
+            db.add_foreign_key(fk)
+        index_names = apply_structure(db, fk, structure, index_kind)
+        if fk.match is MatchSemantics.PARTIAL:
+            partial_ri.install(db, fk)
+        else:
+            fk.enforcement = EnforcementMode.NATIVE
+        return cls(db, fk, structure, index_kind, index_names)
+
+    def drop(self) -> None:
+        """Remove triggers, indexes and the constraint registration."""
+        if not self._active:
+            return
+        if self.fk.match is MatchSemantics.PARTIAL:
+            partial_ri.uninstall(self.db, self.fk)
+        remove_structure(self.db, self.fk, self.structure)
+        self.db.drop_foreign_key(self.fk.name)
+        self._active = False
+
+    def switch_structure(self, structure: IndexStructure) -> None:
+        """Replace the index structure in place (enforcement stays on).
+
+        This is how the benchmark harness walks one loaded dataset
+        through all competing structures without regenerating data.
+        """
+        remove_structure(self.db, self.fk, self.structure)
+        self.structure = structure
+        self.index_names = apply_structure(
+            self.db, self.fk, structure, self.index_kind
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_indexes(self) -> int:
+        return len(self.index_names)
+
+    def describe(self) -> str:
+        return (
+            f"{self.fk.describe()} — structure {self.structure.label} "
+            f"({self.n_indexes} indexes, {self.index_kind.value})"
+        )

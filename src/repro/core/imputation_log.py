@@ -1,0 +1,170 @@
+"""Imputation logging and reversal (paper §4.3 and §9 future work).
+
+§4.3: *"When updates are run mechanically, it is particularly advisable
+to record the available choices for imputation in the form of a log.
+This log can be inspected later on for analytical purposes, or to assist
+with data cleaning."*  §9 asks *"how unsuccessful imputations can be
+reversed"*.
+
+:class:`ImputationLog` records every imputation the intelligent services
+perform (which child row, which null components, which donor parent) and
+can revert any entry — restoring exactly the original null markers while
+leaving later, unrelated changes to the row intact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..constraints.foreign_key import ForeignKey
+from ..errors import ReproError
+from ..nulls import NULL
+from ..query import dml
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.database import Database
+
+
+class ImputationReversalError(ReproError):
+    """The logged imputation can no longer be reverted safely."""
+
+
+@dataclass(frozen=True)
+class ImputationRecord:
+    """One imputation: which positions of which row got which values."""
+
+    sequence: int
+    child_table: str
+    rid: int
+    positions: tuple[int, ...]
+    old_values: tuple[Any, ...]
+    new_values: tuple[Any, ...]
+    donor_parent: tuple[Any, ...]
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"#{self.sequence} {self.child_table}[rid={self.rid}] "
+            f"{self.old_values!r} -> {self.new_values!r} "
+            f"from parent {self.donor_parent!r} ({self.reason})"
+        )
+
+
+@dataclass
+class ImputationLog:
+    """Append-only record of imputations with selective reversal."""
+
+    records: list[ImputationRecord] = field(default_factory=list)
+    reverted: set[int] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(
+        self,
+        child_table: str,
+        rid: int,
+        positions: Sequence[int],
+        old_values: Sequence[Any],
+        new_values: Sequence[Any],
+        donor_parent: Sequence[Any],
+        reason: str,
+    ) -> ImputationRecord:
+        entry = ImputationRecord(
+            sequence=len(self.records),
+            child_table=child_table,
+            rid=rid,
+            positions=tuple(positions),
+            old_values=tuple(old_values),
+            new_values=tuple(new_values),
+            donor_parent=tuple(donor_parent),
+            reason=reason,
+        )
+        self.records.append(entry)
+        return entry
+
+    def record_imputed_row(
+        self,
+        fk: ForeignKey,
+        rid: int,
+        old_row: Sequence[Any],
+        new_row: Sequence[Any],
+        donor_parent: Sequence[Any],
+        reason: str,
+    ) -> ImputationRecord | None:
+        """Convenience: derive positions/values from before/after rows."""
+        positions = [
+            p for p in fk.fk_positions if old_row[p] is NULL and new_row[p] is not NULL
+        ]
+        if not positions:
+            return None
+        return self.record(
+            fk.child_table, rid, positions,
+            [old_row[p] for p in positions],
+            [new_row[p] for p in positions],
+            donor_parent, reason,
+        )
+
+    # ------------------------------------------------------------------
+
+    def revert(self, db: "Database", sequence: int) -> None:
+        """Undo one imputation: put the null markers back.
+
+        Refuses when the row has since changed on the imputed positions
+        (the imputation is no longer what is stored) or the row is gone.
+        """
+        entry = self._entry(sequence)
+        if sequence in self.reverted:
+            raise ImputationReversalError(f"imputation #{sequence} already reverted")
+        table = db.table(entry.child_table)
+        if entry.rid not in table.heap:
+            raise ImputationReversalError(
+                f"imputation #{sequence}: row rid={entry.rid} no longer exists"
+            )
+        row = table.get_row(entry.rid)
+        current = tuple(row[p] for p in entry.positions)
+        if current != entry.new_values:
+            raise ImputationReversalError(
+                f"imputation #{sequence}: row changed since "
+                f"({current!r} != {entry.new_values!r})"
+            )
+        new_row = list(row)
+        for position, value in zip(entry.positions, entry.old_values):
+            new_row[position] = value
+        dml.update_rid(db, entry.child_table, entry.rid, new_row, row)
+        self.reverted.add(sequence)
+
+    def revert_all(self, db: "Database") -> int:
+        """Undo every revertible imputation, newest first.
+
+        Returns the number reverted; entries that no longer apply are
+        skipped (they are exactly the "unsuccessful" reversals §9 asks
+        about — still inspectable in the log)."""
+        count = 0
+        for entry in reversed(self.records):
+            if entry.sequence in self.reverted:
+                continue
+            try:
+                self.revert(db, entry.sequence)
+                count += 1
+            except ImputationReversalError:
+                continue
+        return count
+
+    def _entry(self, sequence: int) -> ImputationRecord:
+        if not 0 <= sequence < len(self.records):
+            raise ImputationReversalError(f"no imputation #{sequence}")
+        return self.records[sequence]
+
+    def pending(self) -> list[ImputationRecord]:
+        """Entries not yet reverted."""
+        return [r for r in self.records if r.sequence not in self.reverted]
+
+    def render(self) -> str:
+        lines = ["Imputation log:"]
+        for entry in self.records:
+            marker = " (reverted)" if entry.sequence in self.reverted else ""
+            lines.append("  " + entry.describe() + marker)
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""The null-state lattice of partial foreign keys (paper §3, Example 2).
+
+The *state* of a child tuple is the subset of the ``n`` foreign-key
+positions on which it carries a null marker.  There are ``2^n`` states:
+the total state (no nulls), ``C(n, u)`` states with ``u`` nulls for
+``0 < u < n``, and the all-null state.  Under partial semantics, a parent
+may have up to ``2^n - 1`` children with pairwise different states, and
+the enforcement triggers must consider every state on parent deletion —
+which is why the number and kinds of available indexes matter so much.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Any, Iterator, Sequence
+
+from ..nulls import NULL
+
+#: A state: the tuple of 0-based positions that are NULL, ascending.
+State = tuple[int, ...]
+
+
+def state_of(values: Sequence[Any]) -> State:
+    """Return the state of a (partial) foreign-key value."""
+    return tuple(i for i, v in enumerate(values) if v is NULL)
+
+
+def iter_null_states(
+    n: int,
+    include_total: bool = False,
+    include_all_null: bool = True,
+) -> Iterator[State]:
+    """Yield states of an *n*-column foreign key, fewest nulls first.
+
+    By default yields the ``2^n - 1`` states with at least one null (the
+    "non-empty subsets" of the paper); flags include the total state
+    ``()`` and exclude the all-null state ``(0..n-1)``.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1 columns, got {n}")
+    low = 0 if include_total else 1
+    high = n if include_all_null else n - 1
+    for u in range(low, high + 1):
+        yield from combinations(range(n), u)
+
+
+def count_states(n: int, u: int) -> int:
+    """Number of distinct states with exactly *u* nulls: C(n, u) (§3)."""
+    return comb(n, u)
+
+
+def total_state_count(n: int) -> int:
+    """All states with at least one null: 2^n - 1 (§3)."""
+    return 2**n - 1
+
+
+def apply_state(values: Sequence[Any], state: State) -> tuple[Any, ...]:
+    """Null out the positions of *state* in a total value.
+
+    Example 2 of the paper: ``apply_state((1, 2, 3), (0,)) == (NULL, 2, 3)``.
+    """
+    return tuple(NULL if i in set(state) else v for i, v in enumerate(values))
+
+
+def substates(state: State, n: int) -> Iterator[State]:
+    """States with strictly more nulls that extend *state*.
+
+    When a user imputes the children of state ``S`` with a chosen
+    alternative parent, Algorithms 1 and 2 also subsume children whose
+    state is a superset of ``S`` (the ``S_m ⊆ S_u`` step) — those
+    children match the same parent on even fewer columns.
+    """
+    fixed = set(state)
+    others = [i for i in range(n) if i not in fixed]
+    for extra in range(1, len(others) + 1):
+        for added in combinations(others, extra):
+            yield tuple(sorted(fixed | set(added)))
+
+
+def is_substate(general: State, specific: State) -> bool:
+    """True iff *general* nulls a superset of *specific*'s positions.
+
+    A child in state *general* (more nulls) is compatible with any
+    imputation choice made for state *specific*.
+    """
+    return set(general) >= set(specific)
+
+
+def sargable_states_with_prefix_indexes(n: int) -> int:
+    """How many of the ``2^n - 1`` partial-match probes are supported by
+    the §9 future-work option of ``2n`` n-ary compound indexes.
+
+    The paper: "when n = 5, defining 2 x 5 compound indices in different
+    orders only supports 21 of 31 match queries."  A probe on a total-
+    column subset ``T`` is supported iff ``T`` is a leftmost prefix of one
+    of the ``2n`` rotations used: the paper's option indexes the
+    rotations ``[k_i..k_n, k_1..k_{i-1}]`` for i = 1..n plus the reversed
+    rotations over the foreign-key columns.
+    """
+    rotations = []
+    base = list(range(n))
+    for i in range(n):
+        rotations.append(base[i:] + base[:i])
+        rotations.append(list(reversed(base[i:] + base[:i])))
+    supported: set[frozenset[int]] = set()
+    for rotation in rotations:
+        for length in range(1, n + 1):
+            supported.add(frozenset(rotation[:length]))
+    all_subsets = {
+        frozenset(c)
+        for u in range(1, n + 1)
+        for c in combinations(range(n), u)
+    }
+    return len(supported & all_subsets)

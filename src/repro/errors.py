@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  The hierarchy mirrors the layers of the
+engine: schema/catalog problems, storage problems, constraint violations
+and trigger aborts.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table schema or column definition is invalid or inconsistent."""
+
+
+class CatalogError(ReproError):
+    """A catalog operation referenced a missing or duplicate object."""
+
+
+class StorageError(ReproError):
+    """A low-level storage operation failed (bad rid, arity mismatch...)."""
+
+
+class IndexError_(ReproError):
+    """An index operation failed (named with a trailing underscore so we
+    do not shadow the :class:`IndexError` builtin)."""
+
+
+class QueryError(ReproError):
+    """A query could not be planned or executed."""
+
+
+class TransactionError(ReproError):
+    """A transaction operation was used incorrectly (e.g. nested begin)."""
+
+
+class IntegrityError(ReproError):
+    """Base class for integrity-constraint violations."""
+
+
+class KeyViolation(IntegrityError):
+    """A candidate/primary key would be violated by the attempted write."""
+
+
+class ReferentialIntegrityViolation(IntegrityError):
+    """A foreign key would be violated by the attempted write.
+
+    Mirrors the SQL-state ``'02000'`` signal raised by the paper's
+    generated triggers ("No reference is found, enter a valid value").
+    """
+
+    sqlstate = "02000"
+
+
+class RestrictViolation(IntegrityError):
+    """A delete/update was rejected by a RESTRICT / NO ACTION referential
+    action because referencing children exist."""
+
+
+class TriggerAbort(ReproError):
+    """A BEFORE trigger vetoed the triggering statement."""

@@ -1,0 +1,26 @@
+"""Index substrate: B+ tree, hash index, definitions, manager, costs."""
+
+from .btree import BPlusTree, DEFAULT_ORDER
+from .cost import CostCapture, CostSnapshot, CostTracker, COUNTER_NAMES
+from .definition import IndexDefinition, IndexKind
+from .hash import HashIndex
+from .keys import EncodedKey, decode_key, encode_component, encode_key
+from .manager import IndexManager, TableIndex
+
+__all__ = [
+    "BPlusTree",
+    "DEFAULT_ORDER",
+    "CostCapture",
+    "CostSnapshot",
+    "CostTracker",
+    "COUNTER_NAMES",
+    "IndexDefinition",
+    "IndexKind",
+    "HashIndex",
+    "EncodedKey",
+    "decode_key",
+    "encode_component",
+    "encode_key",
+    "IndexManager",
+    "TableIndex",
+]

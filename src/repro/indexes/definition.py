@@ -1,0 +1,53 @@
+"""Index definitions: the catalog-level description of one index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import IndexError_
+
+
+class IndexKind(str, Enum):
+    """Physical index type.  The paper's experiments use B-trees; hash
+    indices were tested and found slightly worse (§7.1)."""
+
+    BTREE = "btree"
+    HASH = "hash"
+
+
+@dataclass(frozen=True)
+class IndexDefinition:
+    """Catalog description of one index on a table.
+
+    ``columns`` is the ordered tuple of column names; order matters for
+    B-tree compound indexes because only leftmost prefixes are sargable.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    kind: IndexKind = IndexKind.BTREE
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IndexError_("index name must be non-empty")
+        if not self.columns:
+            raise IndexError_(f"index {self.name!r} must cover >= 1 column")
+        if len(set(self.columns)) != len(self.columns):
+            raise IndexError_(
+                f"index {self.name!r} lists a column twice: {self.columns}"
+            )
+
+    @property
+    def is_compound(self) -> bool:
+        return len(self.columns) > 1
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.columns) == 1
+
+    def describe(self) -> str:
+        """Human-readable one-liner, used by EXPLAIN and reports."""
+        flavour = "UNIQUE " if self.unique else ""
+        return f"{flavour}{self.kind.value.upper()} INDEX {self.name} ({', '.join(self.columns)})"

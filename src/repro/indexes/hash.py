@@ -1,0 +1,71 @@
+"""A hash index over encoded keys.
+
+The paper notes (§7.1) that hash indices "resulted in similar outcomes,
+showing worse performance with minor exceptions"; we provide the structure
+so the comparison can be reproduced.  A hash index answers only full-key
+equality — no prefix scans — which is exactly why it cannot support the
+partial-match probes the enforcement triggers need and must fall back to
+scans more often than the B-tree structures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..errors import IndexError_
+from .cost import CostTracker
+from .keys import EncodedKey
+
+
+class HashIndex:
+    """Mapping from encoded key to the set of rids carrying that key."""
+
+    def __init__(self, tracker: CostTracker | None = None) -> None:
+        self._buckets: dict[EncodedKey, set[int]] = {}
+        self._size = 0
+        self._tracker = tracker
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._tracker is not None:
+            self._tracker.count(name, amount)
+
+    def insert(self, key: EncodedKey, rid: int) -> None:
+        bucket = self._buckets.setdefault(key, set())
+        if rid in bucket:
+            raise IndexError_(f"duplicate hash entry {(key, rid)!r}")
+        bucket.add(rid)
+        self._size += 1
+
+    def delete(self, key: EncodedKey, rid: int) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is None or rid not in bucket:
+            raise IndexError_(f"hash entry not found: {(key, rid)!r}")
+        bucket.discard(rid)
+        if not bucket:
+            del self._buckets[key]
+        self._size -= 1
+
+    def lookup(self, key: EncodedKey) -> Iterator[tuple[EncodedKey, int]]:
+        """Yield all entries with exactly *key* (full-key equality only)."""
+        self._count("index_node_reads")
+        for rid in self._buckets.get(key, ()):
+            self._count("index_entries_scanned")
+            yield (key, rid)
+
+    def first_with_key(self, key: EncodedKey) -> tuple[EncodedKey, int] | None:
+        for entry in self.lookup(key):
+            return entry
+        return None
+
+    def contains(self, key: EncodedKey, rid: int) -> bool:
+        return rid in self._buckets.get(key, set())
+
+    def scan_all(self) -> Iterator[tuple[EncodedKey, int]]:
+        """Yield every entry; order is by encoded key for determinism."""
+        for key in sorted(self._buckets):
+            for rid in sorted(self._buckets[key]):
+                self._count("index_entries_scanned")
+                yield (key, rid)

@@ -1,0 +1,78 @@
+"""Encoding of column values into totally-ordered index keys.
+
+B-tree keys must be totally ordered, but SQL values are not: ``NULL`` is
+not comparable to anything, and heterogeneous Python values (``int`` vs
+``str``) raise ``TypeError`` under ``<``.  Following MySQL's InnoDB
+behaviour — which the paper's experiments ran on — null markers *are*
+stored in secondary indexes and sort before every non-null value.
+
+Each component value ``v`` is encoded as a 2-tuple:
+
+* ``(0, 0)``   when ``v`` is the NULL marker (sorts first), and
+* ``(1, v)``   otherwise.
+
+A full index key over columns ``(c1..cm)`` is the tuple of encoded
+components, so tuple comparison gives exactly the null-first columnwise
+order.  Prefix relationships are preserved: the encoded key of a prefix of
+columns is a prefix of the encoded key, which is what the planner's
+leftmost-prefix rule relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from ..nulls import NULL
+
+#: Encoded form of the NULL marker inside index keys.
+NULL_COMPONENT: tuple[int, int] = (0, 0)
+
+#: Type alias for one encoded component.
+EncodedComponent = tuple[int, Any]
+
+#: Type alias for a full encoded key.
+EncodedKey = tuple[EncodedComponent, ...]
+
+
+def encode_component(value: Any) -> EncodedComponent:
+    """Encode one column value for use inside an index key."""
+    if value is NULL:
+        return NULL_COMPONENT
+    return (1, value)
+
+
+def encode_key(values: Sequence[Any]) -> EncodedKey:
+    """Encode a sequence of column values into a sortable index key."""
+    return tuple(
+        NULL_COMPONENT if v is NULL else (1, v) for v in values
+    )
+
+
+def decode_key(key: EncodedKey) -> tuple[Any, ...]:
+    """Invert :func:`encode_key`."""
+    return tuple(NULL if tag == 0 else value for tag, value in key)
+
+
+def key_has_prefix(key: EncodedKey, prefix: EncodedKey) -> bool:
+    """Return True iff *key* starts with *prefix* componentwise."""
+    return key[: len(prefix)] == prefix
+
+
+def prefix_successor(prefix: EncodedKey) -> EncodedKey | None:
+    """Smallest encoded key strictly greater than every key with *prefix*.
+
+    Used to bound range scans: all keys with the given prefix lie in
+    ``[prefix-padded-low, successor)``.  Returns None when no successor
+    exists (cannot happen for the tag-based encoding because the tag of
+    the last component can always be bumped, but the guard keeps the
+    function total for arbitrary tuples).
+    """
+    if not prefix:
+        return None
+    head, (tag, value) = prefix[:-1], prefix[-1]
+    # Bumping the tag of the final component produces a tuple greater than
+    # any key extending the prefix, because tags only take values 0 and 1
+    # and ties on (tag, value) are broken by later components which are
+    # always >= the empty suffix.
+    return head + ((tag, value, None),)  # type: ignore[return-value]

@@ -1,0 +1,254 @@
+"""Per-table index bookkeeping and maintenance.
+
+A :class:`TableIndex` binds an :class:`IndexDefinition` to the physical
+structure (B+ tree or hash) and to the column positions of its table's
+schema.  The :class:`IndexManager` owns every index of one table and keeps
+all of them consistent under row inserts, deletes and updates — that
+maintenance cost is one of the two effects that make the paper's Powerset
+structure lose to Bounded (§7.2), so it is charged explicitly via the
+``index_maintenance_ops`` counter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+from ..errors import IndexError_, KeyViolation
+from .btree import BPlusTree
+from .cost import CostTracker
+from .definition import IndexDefinition, IndexKind
+from .hash import HashIndex
+from .keys import EncodedKey, encode_key
+
+
+class TableIndex:
+    """One physical index over one table."""
+
+    def __init__(
+        self,
+        definition: IndexDefinition,
+        positions: Sequence[int],
+        tracker: CostTracker | None = None,
+        order: int = 64,
+    ) -> None:
+        if len(positions) != len(definition.columns):
+            raise IndexError_(
+                f"index {definition.name!r}: {len(definition.columns)} columns "
+                f"but {len(positions)} positions"
+            )
+        self.definition = definition
+        self.positions = tuple(positions)
+        self._tracker = tracker
+        if definition.kind is IndexKind.BTREE:
+            self._structure: BPlusTree | HashIndex = BPlusTree(order, tracker)
+        else:
+            self._structure = HashIndex(tracker)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.definition.columns
+
+    @property
+    def kind(self) -> IndexKind:
+        return self.definition.kind
+
+    def __len__(self) -> int:
+        return len(self._structure)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._tracker is not None:
+            self._tracker.count(name, amount)
+
+    def key_for_row(self, row: Sequence[Any]) -> EncodedKey:
+        """Project *row* onto the indexed columns and encode the key."""
+        return encode_key([row[p] for p in self.positions])
+
+    # ------------------------------------------------------------------
+    # Maintenance
+
+    def insert_row(self, rid: int, row: Sequence[Any]) -> None:
+        key = self.key_for_row(row)
+        if self.definition.unique and self._has_total_duplicate(key):
+            raise KeyViolation(
+                f"unique index {self.name!r} violated by key {key!r}"
+            )
+        self._structure.insert(key, rid)
+        self._count("index_maintenance_ops")
+
+    def _has_total_duplicate(self, key: EncodedKey) -> bool:
+        """SQL-style uniqueness: keys containing NULL never collide."""
+        if any(tag == 0 for tag, __ in key):
+            return False
+        if isinstance(self._structure, BPlusTree):
+            return self._structure.first_with_prefix(key) is not None
+        return self._structure.first_with_key(key) is not None
+
+    def delete_row(self, rid: int, row: Sequence[Any]) -> None:
+        self._structure.delete(self.key_for_row(row), rid)
+        self._count("index_maintenance_ops")
+
+    def update_row(self, rid: int, old: Sequence[Any], new: Sequence[Any]) -> None:
+        old_key = self.key_for_row(old)
+        new_key = self.key_for_row(new)
+        if old_key == new_key:
+            return  # the index is unaffected by this update
+        self._structure.delete(old_key, rid)
+        if self.definition.unique and self._has_total_duplicate(new_key):
+            # restore before reporting, so the index stays consistent
+            self._structure.insert(old_key, rid)
+            self._count("index_maintenance_ops", 2)
+            raise KeyViolation(
+                f"unique index {self.name!r} violated by key {new_key!r}"
+            )
+        self._structure.insert(new_key, rid)
+        self._count("index_maintenance_ops", 2)
+
+    def build(self, rows: Iterable[tuple[int, Sequence[Any]]]) -> None:
+        """(Re)build the index over existing (rid, row) pairs."""
+        if isinstance(self._structure, BPlusTree):
+            entries = [(self.key_for_row(row), rid) for rid, row in rows]
+            if self.definition.unique:
+                seen: set[EncodedKey] = set()
+                for key, __ in entries:
+                    if any(tag == 0 for tag, _v in key):
+                        continue
+                    if key in seen:
+                        raise KeyViolation(
+                            f"unique index {self.name!r} violated by key {key!r}"
+                        )
+                    seen.add(key)
+            self._structure.bulk_load(entries)
+        else:
+            for rid, row in rows:
+                self.insert_row(rid, row)
+
+    # ------------------------------------------------------------------
+    # Probes used by the executor
+
+    def supports_prefix_scan(self) -> bool:
+        return isinstance(self._structure, BPlusTree)
+
+    def scan_equal(self, values: Sequence[Any]) -> Iterator[int]:
+        """Yield rids of entries whose leading columns equal *values*.
+
+        For a B-tree, *values* may cover any leftmost prefix of the
+        indexed columns; for a hash index it must cover all of them.
+        """
+        prefix = encode_key(values)
+        if isinstance(self._structure, BPlusTree):
+            for __, rid in self._structure.scan_prefix(prefix):
+                yield rid
+        else:
+            if len(values) != len(self.positions):
+                raise IndexError_(
+                    f"hash index {self.name!r} needs all {len(self.positions)} "
+                    f"columns, got {len(values)}"
+                )
+            for __, rid in self._structure.lookup(prefix):
+                yield rid
+
+    def dive(self, value: Any) -> None:
+        """Optimizer selectivity dive on the leading column (B-tree only)."""
+        if isinstance(self._structure, BPlusTree):
+            self._structure.dive(encode_key((value,)))
+
+    def exists_equal(self, values: Sequence[Any]) -> bool:
+        """LIMIT-1 existence probe on a leading prefix (or full hash key)."""
+        prefix = encode_key(values)
+        if isinstance(self._structure, BPlusTree):
+            return self._structure.first_with_prefix(prefix) is not None
+        return self._structure.first_with_key(prefix) is not None
+
+    def scan_all(self) -> Iterator[tuple[EncodedKey, int]]:
+        return self._structure.scan_all()
+
+
+class IndexManager:
+    """All indexes of one table, kept consistent under row mutations."""
+
+    def __init__(self, tracker: CostTracker | None = None, order: int = 64) -> None:
+        self._indexes: dict[str, TableIndex] = {}
+        self._tracker = tracker
+        self._order = order
+        #: Bumped on every create/drop; the planner's plan cache keys on
+        #: it so cached access paths die with the index set.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __iter__(self) -> Iterator[TableIndex]:
+        return iter(self._indexes.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._indexes
+
+    def names(self) -> list[str]:
+        return list(self._indexes)
+
+    def get(self, name: str) -> TableIndex:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise IndexError_(f"no index named {name!r}") from None
+
+    def create(
+        self,
+        definition: IndexDefinition,
+        positions: Sequence[int],
+        rows: Iterable[tuple[int, Sequence[Any]]] = (),
+    ) -> TableIndex:
+        if definition.name in self._indexes:
+            raise IndexError_(f"index {definition.name!r} already exists")
+        index = TableIndex(definition, positions, self._tracker, self._order)
+        index.build(rows)
+        self._indexes[definition.name] = index
+        self.version += 1
+        return index
+
+    def drop(self, name: str) -> None:
+        if name not in self._indexes:
+            raise IndexError_(f"no index named {name!r}")
+        del self._indexes[name]
+        self.version += 1
+
+    def drop_all(self) -> None:
+        self._indexes.clear()
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Row-mutation fan-out.  Every index of the table is maintained; this
+    # is where a 31-index Powerset structure pays for itself.
+
+    def insert_row(self, rid: int, row: Sequence[Any]) -> None:
+        done: list[TableIndex] = []
+        try:
+            for index in self._indexes.values():
+                index.insert_row(rid, row)
+                done.append(index)
+        except Exception:
+            for index in done:
+                index.delete_row(rid, row)
+            raise
+
+    def delete_row(self, rid: int, row: Sequence[Any]) -> None:
+        for index in self._indexes.values():
+            index.delete_row(rid, row)
+
+    def update_row(self, rid: int, old: Sequence[Any], new: Sequence[Any]) -> None:
+        done: list[TableIndex] = []
+        try:
+            for index in self._indexes.values():
+                index.update_row(rid, old, new)
+                done.append(index)
+        except Exception:
+            for index in done:
+                index.update_row(rid, new, old)
+            raise

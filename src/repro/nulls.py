@@ -1,0 +1,116 @@
+"""The SQL null marker and partial-tuple subsumption.
+
+The SQL standard treats ``NULL`` as a *marker* for a missing value, not as
+a value.  This module provides a dedicated singleton :data:`NULL` (instead
+of Python's ``None``) so that "no information" cannot be confused with
+"the Python null object" flowing through application code, plus the
+subsumption relation from the paper (Section 3):
+
+    a tuple *c* over columns ``[f1..fn]`` is **subsumed** by a tuple *p*
+    over ``[k1..kn]`` iff for every *i*, ``c[fi] = NULL`` or
+    ``c[fi] = p[ki]``.
+
+Partial referential integrity requires every child tuple to be subsumed by
+some parent tuple on the foreign-key / key columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+
+class NullMarker:
+    """Singleton marker for SQL ``NULL``.
+
+    The class is instantiated exactly once (as :data:`NULL`); attempts to
+    create more instances return the same object so identity tests with
+    ``is`` stay safe even across pickling.
+    """
+
+    _instance: "NullMarker | None" = None
+
+    def __new__(cls) -> "NullMarker":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __copy__(self) -> "NullMarker":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "NullMarker":
+        return self
+
+    def __reduce__(self):
+        return (NullMarker, ())
+
+
+#: The one and only SQL null marker used throughout the library.
+NULL = NullMarker()
+
+
+def is_null(value: Any) -> bool:
+    """Return True iff *value* is the SQL null marker."""
+    return value is NULL
+
+
+def is_total(values: Sequence[Any]) -> bool:
+    """Return True iff no component of *values* is NULL.
+
+    A "total" foreign-key value is one with no null marker; under simple
+    semantics only total values must be matched by a parent.
+    """
+    return all(v is not NULL for v in values)
+
+
+def is_fully_null(values: Sequence[Any]) -> bool:
+    """Return True iff every component of *values* is NULL."""
+    return all(v is NULL for v in values)
+
+
+def null_positions(values: Sequence[Any]) -> tuple[int, ...]:
+    """Return the 0-based positions of the components that are NULL.
+
+    The returned tuple identifies the *state* of a partial foreign-key
+    value in the sense of the paper (Section 3): children with the same
+    null positions are in the same state.
+    """
+    return tuple(i for i, v in enumerate(values) if v is NULL)
+
+
+def total_positions(values: Sequence[Any]) -> tuple[int, ...]:
+    """Return the 0-based positions of the components that are not NULL."""
+    return tuple(i for i, v in enumerate(values) if v is not NULL)
+
+
+def is_subsumed_by(child: Sequence[Any], parent: Sequence[Any]) -> bool:
+    """Partial-semantics subsumption test (paper, Section 3).
+
+    Returns True iff every component of *child* is NULL or equals the
+    corresponding component of *parent*.  Raises ``ValueError`` when the
+    two sequences disagree on length, because subsumption is only defined
+    for equal-length column sequences.
+    """
+    if len(child) != len(parent):
+        raise ValueError(
+            f"subsumption needs equal arity, got {len(child)} and {len(parent)}"
+        )
+    return all(c is NULL or c == p for c, p in zip(child, parent))
+
+
+def impute(child: Sequence[Any], parent: Sequence[Any]) -> tuple[Any, ...]:
+    """Fill every NULL component of *child* with the parent's value.
+
+    This is the imputation step of the intelligent update/query services
+    (paper, Sections 4 and 5): the result agrees with *child* on the total
+    components and with *parent* elsewhere.  *parent* must subsume *child*.
+    """
+    if not is_subsumed_by(child, parent):
+        raise ValueError(f"{tuple(child)!r} is not subsumed by {tuple(parent)!r}")
+    return tuple(p if c is NULL else c for c, p in zip(child, parent))

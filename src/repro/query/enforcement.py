@@ -1,0 +1,212 @@
+"""Referential-integrity enforcement logic shared by the native DML path
+and the generated triggers.
+
+Two operations need enforcement (paper §3): writes that create a child
+tuple (insert into C / update of C), and writes that remove a parent
+tuple (delete from P / update of P).  The functions here implement both,
+for all three MATCH semantics, driving every search through the planner
+so the installed index structure determines the cost — which is the whole
+point of the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
+from ..constraints.actions import ReferentialAction
+from ..constraints.foreign_key import ForeignKey, MatchSemantics
+from ..core.states import iter_null_states
+from ..errors import IntegrityError, ReferentialIntegrityViolation, RestrictViolation
+from ..nulls import NULL, is_total
+from . import executor, probes
+from .predicate import Predicate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.database import Database
+
+
+# ----------------------------------------------------------------------
+# Child-side: inserting / updating a referencing tuple
+
+
+def check_child_write(db: "Database", fk: ForeignKey, row: Sequence[Any]) -> None:
+    """Veto a child write that would violate *fk* (paper §6.1, trigger on CS).
+
+    Implements the BEFORE INSERT trigger's case analysis: one existence
+    probe on the parent table, restricted to the total components of the
+    new foreign-key value.  Raises
+    :class:`~repro.errors.ReferentialIntegrityViolation` when no parent
+    matches.
+    """
+    child_fk = fk.child_values(row)
+    if fk.row_violates_shape(child_fk):
+        raise ReferentialIntegrityViolation(
+            f"{fk.name}: MATCH FULL forbids partially-null value {child_fk!r}"
+        )
+    if fk.row_satisfiable_without_lookup(child_fk):
+        return
+    if fk.match is MatchSemantics.SIMPLE and not is_total(child_fk):
+        return
+    db.tracker.count("state_checks")
+    columns = [k for k, v in zip(fk.key_columns, child_fk) if v is not NULL]
+    values = [v for v in child_fk if v is not NULL]
+    if not probes.exists_eq(db.table(fk.parent_table), columns, values):
+        raise ReferentialIntegrityViolation(
+            f"{fk.name}: no reference is found for {child_fk!r}, "
+            "enter a valid value"
+        )
+
+
+# ----------------------------------------------------------------------
+# Parent-side: deleting / updating a referenced tuple
+
+
+def restrict_parent_remove(db: "Database", fk: ForeignKey, parent_row: Sequence[Any]) -> None:
+    """RESTRICT / NO ACTION check, run *before* the parent row vanishes.
+
+    Rejects the removal when any child still references the parent and
+    would lose its last parent (for partial semantics, total children
+    always do; partial children only when no alternative parent exists).
+    """
+    if not fk.on_delete.rejects:
+        return
+    parent_key = fk.parent_values(parent_row)
+    if fk.match is not MatchSemantics.PARTIAL:
+        if executor.exists(db, fk.child_table, fk.exact_child_predicate(parent_key)):
+            raise RestrictViolation(
+                f"{fk.name}: children still reference {parent_key!r}"
+            )
+        return
+    for state in iter_null_states(fk.n_columns, include_total=True, include_all_null=False):
+        db.tracker.count("state_checks")
+        child_pred = fk.child_state_predicate(parent_key, state)
+        if not executor.exists(db, fk.child_table, child_pred):
+            continue
+        if not state:
+            # total children: the deleted parent is their only parent
+            raise RestrictViolation(
+                f"{fk.name}: total children still reference {parent_key!r}"
+            )
+        if not _alternative_parent_exists(db, fk, parent_key, state, parent_row):
+            raise RestrictViolation(
+                f"{fk.name}: children in state {state!r} would lose their "
+                f"last parent {parent_key!r}"
+            )
+
+
+def handle_parent_removed(
+    db: "Database",
+    fk: ForeignKey,
+    parent_row: Sequence[Any],
+    action: ReferentialAction | None = None,
+) -> int:
+    """Apply the referential action after a parent row was removed.
+
+    This is the paper's AFTER DELETE trigger on PS (§6.1): first the
+    total children of the deleted parent receive the action, then each
+    of the ``2^n - 2`` partial states is probed — children exist in the
+    state AND no alternative parent subsumes them — and orphaned states
+    receive the action.  Returns the number of affected child rows.
+    """
+    if action is None:
+        action = fk.on_delete
+    if action.rejects:
+        # Already vetoed in restrict_parent_remove before the removal.
+        return 0
+    parent_key = fk.parent_values(parent_row)
+    affected = 0
+
+    # 1. Children whose foreign key totally equals the deleted key: the
+    #    referenced key is unique, so there is never an alternative.
+    affected += _apply_action(
+        db, fk, fk.exact_child_predicate(parent_key), action
+    )
+
+    if fk.match is not MatchSemantics.PARTIAL:
+        return affected
+
+    # 2. Each partial state: u = 1 .. n-1 null markers.
+    child = db.table(fk.child_table)
+    n = fk.n_columns
+    for state in iter_null_states(n, include_total=False, include_all_null=False):
+        db.tracker.count("state_checks")
+        state_set = set(state)
+        total_positions = [i for i in range(n) if i not in state_set]
+        if not probes.exists_eq(
+            child,
+            [fk.fk_columns[i] for i in total_positions],
+            [parent_key[i] for i in total_positions],
+            null_columns=[fk.fk_columns[i] for i in state],
+        ):
+            continue
+        if probes.exists_eq(
+            db.table(fk.parent_table),
+            [fk.key_columns[i] for i in total_positions],
+            [parent_key[i] for i in total_positions],
+        ):
+            # An alternative parent subsumes this state's children: the
+            # parent row itself is already gone (AFTER DELETE), so any
+            # hit is a genuine alternative.
+            continue
+        affected += _apply_action(
+            db, fk, fk.child_state_predicate(parent_key, state), action
+        )
+    return affected
+
+
+def _alternative_parent_exists(
+    db: "Database",
+    fk: ForeignKey,
+    parent_key: Sequence[Any],
+    state: Sequence[int],
+    removed_row: Sequence[Any],
+) -> bool:
+    """Is there a parent, other than the removed one, matching the state's
+    total components?  The probe constrains exactly the key columns the
+    children in this state are total on."""
+    columns = [
+        fk.key_columns[i] for i in range(fk.n_columns) if i not in state
+    ]
+    values = [parent_key[i] for i in range(fk.n_columns) if i not in state]
+    from .predicate import equalities
+
+    predicate = equalities(columns, values)
+    # The caller removes the parent row before this probe runs (AFTER
+    # DELETE), so any hit is a genuine alternative.  When called before
+    # the removal (RESTRICT path) the removed row itself may match; it
+    # must be discounted.
+    table = db.table(fk.parent_table)
+    removed_key = tuple(removed_row)
+    for __, row in executor.iter_matching(table, predicate):
+        if tuple(row) != removed_key:
+            return True
+    return False
+
+
+def _apply_action(
+    db: "Database", fk: ForeignKey, child_pred: Predicate, action: ReferentialAction
+) -> int:
+    """Run one referential action over the children matching *child_pred*."""
+    from . import dml
+
+    if action is ReferentialAction.CASCADE:
+        return dml.delete_where(db, fk.child_table, child_pred)
+    if action is ReferentialAction.SET_NULL:
+        assignments = {column: NULL for column in fk.fk_columns}
+        return dml.update_where(db, fk.child_table, assignments, child_pred)
+    if action is ReferentialAction.SET_DEFAULT:
+        child = db.table(fk.child_table)
+        assignments = {}
+        for column in fk.fk_columns:
+            default = child.schema.column(column).default
+            assignments[column] = default
+        count = dml.update_where(db, fk.child_table, assignments, child_pred)
+        if count and any(v is not NULL for v in assignments.values()):
+            # SQL requires the defaulted value to satisfy the constraint.
+            probe_row: list[Any] = [NULL] * len(child.schema)
+            for column, value in assignments.items():
+                probe_row[child.schema.position(column)] = value
+            check_child_write(db, fk, probe_row)
+        return count
+    raise IntegrityError(f"unsupported referential action {action!r}")

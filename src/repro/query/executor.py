@@ -1,0 +1,124 @@
+"""Execution of single-table reads: scans, lookups, existence probes.
+
+The executor turns an :class:`~repro.query.planner.AccessPath` into rows,
+charging logical costs along the way:
+
+* ``rows_fetched``  — heap fetches performed to materialise index hits,
+* ``rows_examined`` — rows run through the residual filter,
+* ``full_scans``    — heap scans started (the quantity the paper's §7.5
+  analysis tracks for Hybrid's poor deletions).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from ..storage.database import Database
+from ..storage.heap import Row
+from ..storage.table import Table
+from . import planner
+from .predicate import Predicate
+
+
+def iter_matching(
+    table: Table, predicate: Predicate | None
+) -> Iterator[tuple[int, Row]]:
+    """Yield (rid, row) for every row of *table* matching *predicate*.
+
+    Full scans compile the predicate to a position-bound closure and
+    count examined rows in bulk (the scan may be abandoned early by a
+    LIMIT-1 consumer, in which case only the rows actually visited are
+    charged — mirroring how a real engine stops reading pages).
+    """
+    path = planner.plan(table, predicate)
+    tracker = table.tracker
+    if path.is_full_scan:
+        tracker.count("full_scans")
+        test = None if predicate is None else predicate.compile(table.schema)
+        examined = 0
+        try:
+            for rid, row in table.heap.scan_unordered():
+                examined += 1
+                if test is None or test(row):
+                    yield rid, row
+        finally:
+            tracker.count("rows_examined", examined)
+        return
+
+    assert path.index is not None
+    test = (
+        predicate.compile(table.schema)
+        if (path.needs_filter and predicate is not None)
+        else None
+    )
+    get_row = table.heap.get
+    fetched = 0
+    examined = 0
+    try:
+        for rid in path.index.scan_equal(path.prefix_values):
+            row = get_row(rid)
+            fetched += 1
+            if test is not None:
+                examined += 1
+                if not test(row):
+                    continue
+            yield rid, row
+    finally:
+        tracker.count("rows_fetched", fetched)
+        tracker.count("rows_examined", examined)
+
+
+def select(
+    db: Database,
+    table_name: str,
+    predicate: Predicate | None = None,
+    columns: Sequence[str] | None = None,
+    limit: int | None = None,
+) -> list[tuple[Any, ...]]:
+    """Materialise matching rows, optionally projected and limited."""
+    table = db.table(table_name)
+    out: list[tuple[Any, ...]] = []
+    for __, row in iter_matching(table, predicate):
+        out.append(table.project(row, columns) if columns else row)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def select_rids(
+    db: Database,
+    table_name: str,
+    predicate: Predicate | None = None,
+    limit: int | None = None,
+) -> list[int]:
+    """Like :func:`select` but return rids (the DML layer's currency)."""
+    table = db.table(table_name)
+    out: list[int] = []
+    for rid, __ in iter_matching(table, predicate):
+        out.append(rid)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def exists(
+    db: Database, table_name: str, predicate: Predicate | None = None
+) -> bool:
+    """LIMIT-1 existence probe — the primitive of the paper's triggers.
+
+    Stops at the first match, so a successful ref-access probe touches
+    O(height) index nodes, while a failing full scan touches every row.
+    """
+    table = db.table(table_name)
+    for __ in iter_matching(table, predicate):
+        return True
+    return False
+
+
+def count(
+    db: Database, table_name: str, predicate: Predicate | None = None
+) -> int:
+    """Number of matching rows."""
+    table = db.table(table_name)
+    return sum(1 for __ in iter_matching(table, predicate))

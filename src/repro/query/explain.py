@@ -1,0 +1,28 @@
+"""EXPLAIN: render the chosen access path for a predicate.
+
+Mirrors the role of MySQL's ``EXPLAIN`` statement, which the paper uses
+in §7.5 to diagnose why Hybrid full-scans the child table on deletions.
+"""
+
+from __future__ import annotations
+
+from ..storage.database import Database
+from . import planner
+from .predicate import Predicate
+
+
+def explain(
+    db: Database, table_name: str, predicate: Predicate | None = None
+) -> str:
+    """One-line plan description for SELECT ... WHERE *predicate*."""
+    table = db.table(table_name)
+    path = planner.plan(table, predicate)
+    where = predicate.sql() if predicate is not None else "TRUE"
+    return f"SELECT FROM {table_name} WHERE {where}\n  -> {path.describe()}"
+
+
+def explain_path(
+    db: Database, table_name: str, predicate: Predicate | None = None
+) -> planner.AccessPath:
+    """Return the raw access path (for programmatic assertions)."""
+    return planner.plan(db.table(table_name), predicate)

@@ -1,0 +1,392 @@
+"""Predicates: the WHERE-clause fragment the engine understands.
+
+The enforcement triggers of the paper only need conjunctions of
+``column = value`` and ``column IS NULL`` terms, plus the disjunctions
+appearing in the generated referential-action updates.  The predicate
+algebra here covers exactly that (with comparisons and negation rounding
+it out for the example applications).
+
+Evaluation uses SQL-flavoured two-valued logic: any comparison touching a
+NULL marker is *not satisfied* (SQL's UNKNOWN collapses to False in a
+WHERE clause), while ``IS NULL`` / ``IS NOT NULL`` test the marker itself.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..errors import QueryError
+from ..nulls import NULL
+from ..storage.schema import TableSchema
+
+Row = tuple[Any, ...]
+
+
+class Predicate:
+    """Abstract base: a boolean condition over one table's rows."""
+
+    def evaluate(self, row: Sequence[Any], schema: TableSchema) -> bool:
+        raise NotImplementedError
+
+    def compile(self, schema: TableSchema) -> Callable[[Sequence[Any]], bool]:
+        """Return a fast closure with column positions pre-resolved.
+
+        Full scans evaluate the predicate once per row; resolving column
+        names through the schema on every call would dominate the scan,
+        so each predicate type compiles itself to a position-bound
+        closure.  The default falls back to :meth:`evaluate`.
+        """
+        return lambda row: self.evaluate(row, schema)
+
+    def columns(self) -> set[str]:
+        """All column names referenced by the predicate."""
+        raise NotImplementedError
+
+    def sql(self) -> str:
+        """Render as SQL text (for EXPLAIN and the trigger generator)."""
+        raise NotImplementedError
+
+    # Combinators ------------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}: {self.sql()}>"
+
+
+class TruePredicate(Predicate):
+    """Matches every row (the absent WHERE clause)."""
+
+    def evaluate(self, row: Sequence[Any], schema: TableSchema) -> bool:
+        return True
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def sql(self) -> str:
+        return "TRUE"
+
+
+#: Shared instance for "no WHERE clause".
+ALWAYS = TruePredicate()
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+class Eq(Predicate):
+    """``column = value`` with a *total* value.
+
+    Constructing an equality against NULL raises immediately: SQL's
+    ``col = NULL`` is never true, which is a classic source of silent
+    bugs — use :class:`IsNull` instead.
+    """
+
+    __slots__ = ("column", "value")
+
+    def __init__(self, column: str, value: Any) -> None:
+        if value is NULL or value is None:
+            raise QueryError(
+                f"Eq({column!r}, NULL) is never true; use IsNull({column!r})"
+            )
+        self.column = column
+        self.value = value
+
+    def evaluate(self, row: Sequence[Any], schema: TableSchema) -> bool:
+        actual = row[schema.position(self.column)]
+        return actual is not NULL and actual == self.value
+
+    def compile(self, schema: TableSchema) -> Callable[[Sequence[Any]], bool]:
+        pos, value = schema.position(self.column), self.value
+        return lambda row: row[pos] is not NULL and row[pos] == value
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def sql(self) -> str:
+        return f"{self.column} = {_render_value(self.value)}"
+
+
+class IsNull(Predicate):
+    """``column IS NULL``."""
+
+    __slots__ = ("column",)
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def evaluate(self, row: Sequence[Any], schema: TableSchema) -> bool:
+        return row[schema.position(self.column)] is NULL
+
+    def compile(self, schema: TableSchema) -> Callable[[Sequence[Any]], bool]:
+        pos = schema.position(self.column)
+        return lambda row: row[pos] is NULL
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def sql(self) -> str:
+        return f"{self.column} IS NULL"
+
+
+class IsNotNull(Predicate):
+    """``column IS NOT NULL``."""
+
+    __slots__ = ("column",)
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def evaluate(self, row: Sequence[Any], schema: TableSchema) -> bool:
+        return row[schema.position(self.column)] is not NULL
+
+    def compile(self, schema: TableSchema) -> Callable[[Sequence[Any]], bool]:
+        pos = schema.position(self.column)
+        return lambda row: row[pos] is not NULL
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def sql(self) -> str:
+        return f"{self.column} IS NOT NULL"
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "!=": operator.ne,
+}
+
+
+class Cmp(Predicate):
+    """``column <op> value`` for <, <=, >, >=, !=.
+
+    Comparisons are filter-only in this engine (the planner never uses
+    them for index access); the paper's workloads do not need range
+    access paths.
+    """
+
+    __slots__ = ("column", "op", "value")
+
+    def __init__(self, column: str, op: str, value: Any) -> None:
+        if op not in _COMPARATORS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        if value is NULL or value is None:
+            raise QueryError("comparisons against NULL are never true")
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def evaluate(self, row: Sequence[Any], schema: TableSchema) -> bool:
+        actual = row[schema.position(self.column)]
+        if actual is NULL:
+            return False
+        return _COMPARATORS[self.op](actual, self.value)
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def sql(self) -> str:
+        return f"{self.column} {self.op} {_render_value(self.value)}"
+
+
+class And(Predicate):
+    """Conjunction; nested Ands are flattened for planner analysis."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Predicate) -> None:
+        flat: list[Predicate] = []
+        for child in children:
+            if isinstance(child, And):
+                flat.extend(child.children)
+            elif isinstance(child, TruePredicate):
+                continue
+            else:
+                flat.append(child)
+        self.children: tuple[Predicate, ...] = tuple(flat)
+
+    def evaluate(self, row: Sequence[Any], schema: TableSchema) -> bool:
+        return all(child.evaluate(row, schema) for child in self.children)
+
+    def compile(self, schema: TableSchema) -> Callable[[Sequence[Any]], bool]:
+        tests = [child.compile(schema) for child in self.children]
+        if not tests:
+            return lambda row: True
+
+        def conjunction(row: Sequence[Any]) -> bool:
+            for test in tests:
+                if not test(row):
+                    return False
+            return True
+
+        return conjunction
+
+    def columns(self) -> set[str]:
+        return set().union(*(c.columns() for c in self.children)) if self.children else set()
+
+    def sql(self) -> str:
+        if not self.children:
+            return "TRUE"
+        return " AND ".join(
+            f"({c.sql()})" if isinstance(c, Or) else c.sql() for c in self.children
+        )
+
+
+class Or(Predicate):
+    """Disjunction.  Non-sargable: its presence forces a full scan, the
+    behaviour the paper observed for its OR-ed trigger updates (§7.5)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Predicate) -> None:
+        flat: list[Predicate] = []
+        for child in children:
+            if isinstance(child, Or):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            raise QueryError("Or() needs at least one operand")
+        self.children: tuple[Predicate, ...] = tuple(flat)
+
+    def evaluate(self, row: Sequence[Any], schema: TableSchema) -> bool:
+        return any(child.evaluate(row, schema) for child in self.children)
+
+    def compile(self, schema: TableSchema) -> Callable[[Sequence[Any]], bool]:
+        tests = [child.compile(schema) for child in self.children]
+
+        def disjunction(row: Sequence[Any]) -> bool:
+            for test in tests:
+                if test(row):
+                    return True
+            return False
+
+        return disjunction
+
+    def columns(self) -> set[str]:
+        return set().union(*(c.columns() for c in self.children))
+
+    def sql(self) -> str:
+        return " OR ".join(c.sql() for c in self.children)
+
+
+class Not(Predicate):
+    """Negation (filter-only)."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Predicate) -> None:
+        self.child = child
+
+    def evaluate(self, row: Sequence[Any], schema: TableSchema) -> bool:
+        return not self.child.evaluate(row, schema)
+
+    def columns(self) -> set[str]:
+        return self.child.columns()
+
+    def sql(self) -> str:
+        return f"NOT ({self.child.sql()})"
+
+
+# ----------------------------------------------------------------------
+# Helpers used throughout the enforcement code
+
+
+def equalities(columns: Sequence[str], values: Sequence[Any]) -> Predicate:
+    """Conjunction of Eq/IsNull terms pairing *columns* with *values*.
+
+    NULL values become ``IS NULL`` terms — this builds exactly the
+    state-matching predicates of the paper's triggers.
+    """
+    if len(columns) != len(values):
+        raise QueryError("columns and values must have equal length")
+    terms: list[Predicate] = []
+    for column, value in zip(columns, values):
+        if value is NULL:
+            terms.append(IsNull(column))
+        else:
+            terms.append(Eq(column, value))
+    if not terms:
+        return ALWAYS
+    if len(terms) == 1:
+        return terms[0]
+    return And(*terms)
+
+
+class ConjunctionProfile:
+    """Planner-facing analysis of a predicate.
+
+    Splits a predicate into:
+
+    * ``eq``        — {column: total value} equality terms,
+    * ``null_cols`` — columns constrained by IS NULL,
+    * ``residual``  — True when other terms exist (filters still apply),
+    * ``sargable``  — False when the *top level* is not a conjunction
+      (Or / Not / Cmp), in which case no index access is attempted.
+    """
+
+    __slots__ = ("eq", "null_cols", "residual", "sargable")
+
+    @classmethod
+    def from_parts(
+        cls,
+        eq: dict[str, Any],
+        null_cols: set[str] | frozenset[str] = frozenset(),
+        residual: bool = False,
+    ) -> "ConjunctionProfile":
+        """Build a profile directly (the prepared-probe fast path).
+
+        The enforcement triggers issue millions of probes with a fixed
+        shape; constructing Eq/IsNull objects per probe just to tear them
+        back apart here would dominate the probe itself.
+        """
+        profile = cls.__new__(cls)
+        profile.eq = eq
+        profile.null_cols = set(null_cols)
+        profile.residual = residual
+        profile.sargable = bool(eq)
+        return profile
+
+    def __init__(self, predicate: Predicate | None) -> None:
+        self.eq: dict[str, Any] = {}
+        self.null_cols: set[str] = set()
+        self.residual = False
+        self.sargable = True
+        if predicate is None or isinstance(predicate, TruePredicate):
+            return
+        conjuncts = (
+            predicate.children if isinstance(predicate, And) else (predicate,)
+        )
+        for term in conjuncts:
+            if isinstance(term, Eq):
+                if term.column in self.eq and self.eq[term.column] != term.value:
+                    # contradictory equalities: keep first, filter catches it
+                    self.residual = True
+                    continue
+                self.eq[term.column] = term.value
+            elif isinstance(term, IsNull):
+                self.null_cols.add(term.column)
+            else:
+                self.residual = True
+                if not isinstance(term, (IsNotNull, Cmp, Not, Or)):
+                    # unknown predicate type: be conservative
+                    self.sargable = False
+        if not self.eq:
+            # Nothing for an index to bite on.
+            self.sargable = bool(self.eq)

@@ -1,0 +1,98 @@
+"""Prepared probes: the enforcement triggers' hot search primitives.
+
+The generated triggers of §6.1 issue the same few probe shapes millions
+of times during an experiment:
+
+* *subsumption probe* — does some parent match the total components of a
+  foreign-key value? (child insert / update);
+* *state probe* — does some child exist in null-state S referencing the
+  removed parent key? (parent delete, one per state);
+* *alternative-parent probe* — does a parent other than the removed one
+  match the state's total columns?
+
+A real engine runs these as prepared statements; building full predicate
+trees per probe would make Python object construction — not the index
+structure — the measured quantity.  These functions plan through the
+same :mod:`repro.query.planner` (plan cache, index dives, leftmost-prefix
+rule) and charge the same cost counters as the general executor, so the
+experiment's logical costs are identical; only interpreter overhead is
+removed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from ..nulls import NULL
+from ..storage.table import Table
+from .planner import plan_profile
+from .predicate import ConjunctionProfile
+
+
+def exists_eq(
+    table: Table,
+    columns: Sequence[str],
+    values: Sequence[Any],
+    null_columns: Sequence[str] = (),
+) -> bool:
+    """LIMIT-1 probe: any row with ``columns = values`` (total values)
+    and ``null_columns IS NULL``?
+
+    Equivalent to ``executor.exists(db, table, equalities(...))`` but
+    without predicate-object construction.
+    """
+    eq = dict(zip(columns, values))
+    profile = ConjunctionProfile.from_parts(eq, frozenset(null_columns))
+    path = plan_profile(table, profile)
+    schema = table.schema
+    eq_positions = [(schema.position(c), v) for c, v in eq.items()]
+    null_positions = [schema.position(c) for c in null_columns]
+    tracker = table.tracker
+
+    if path.is_full_scan:
+        tracker.count("full_scans")
+        examined = 0
+        try:
+            for __, row in table.heap.scan_unordered():
+                examined += 1
+                if _row_matches(row, eq_positions, null_positions):
+                    return True
+            return False
+        finally:
+            tracker.count("rows_examined", examined)
+
+    assert path.index is not None
+    bound = set(path.index.columns[: len(path.prefix_values)])
+    residual_eq = [
+        (schema.position(c), v) for c, v in eq.items() if c not in bound
+    ]
+    get_row = table.heap.get
+    fetched = 0
+    try:
+        for rid in path.index.scan_equal(path.prefix_values):
+            fetched += 1
+            if not residual_eq and not null_positions:
+                return True
+            row = get_row(rid)
+            if _row_matches(row, residual_eq, null_positions):
+                return True
+        return False
+    finally:
+        tracker.count("rows_fetched", fetched)
+        tracker.count("rows_examined", fetched)
+
+
+def _row_matches(
+    row: Sequence[Any],
+    eq_positions: list[tuple[int, Any]],
+    null_positions: Sequence[int],
+) -> bool:
+    for position, value in eq_positions:
+        actual = row[position]
+        if actual is NULL or actual != value:
+            return False
+    for position in null_positions:
+        if row[position] is not NULL:
+            return False
+    return True

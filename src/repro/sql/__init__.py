@@ -1,0 +1,29 @@
+"""A SQL front-end for the engine, with the paper's MATCH clause.
+
+Example::
+
+    from repro.sql import SqlSession
+
+    session = SqlSession()
+    session.execute('''
+        CREATE TABLE tour (
+            tour_id TEXT NOT NULL,
+            site_code TEXT NOT NULL,
+            PRIMARY KEY (tour_id, site_code)
+        );
+        CREATE TABLE booking (
+            visitor_id INTEGER NOT NULL,
+            tour_id TEXT,
+            site_code TEXT,
+            FOREIGN KEY (tour_id, site_code)
+                REFERENCES tour (tour_id, site_code)
+                MATCH PARTIAL ON DELETE SET NULL
+                WITH STRUCTURE bounded
+        );
+    ''')
+"""
+
+from .interpreter import SqlResult, SqlSession
+from .parser import parse, parse_one
+
+__all__ = ["SqlResult", "SqlSession", "parse", "parse_one"]

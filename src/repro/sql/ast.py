@@ -1,0 +1,128 @@
+"""Statement AST for the repro SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..constraints.actions import ReferentialAction
+from ..constraints.foreign_key import MatchSemantics
+from ..core.strategies import IndexStructure
+from ..indexes.definition import IndexKind
+from ..query.predicate import Predicate
+from ..storage.schema import DataType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    default: Any = None  # None means "no default given" (NULL default)
+
+
+@dataclass(frozen=True)
+class ForeignKeyClause:
+    fk_columns: tuple[str, ...]
+    parent_table: str
+    key_columns: tuple[str, ...]
+    match: MatchSemantics = MatchSemantics.SIMPLE
+    on_delete: ReferentialAction = ReferentialAction.SET_NULL
+    on_update: ReferentialAction = ReferentialAction.SET_NULL
+    structure: IndexStructure = IndexStructure.BOUNDED
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: tuple[str, ...] = ()
+    unique_keys: tuple[tuple[str, ...], ...] = ()
+    foreign_keys: tuple[ForeignKeyClause, ...] = ()
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    kind: IndexKind = IndexKind.BTREE
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    name: str
+    table: str
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[Any, ...], ...]
+
+
+@dataclass(frozen=True)
+class Select:
+    table: str
+    columns: tuple[str, ...] | None  # None = *
+    where: Predicate | None = None
+    limit: int | None = None
+    explain: bool = False
+    count_star: bool = False
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Predicate | None = None
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Any], ...]
+    where: Predicate | None = None
+
+
+@dataclass(frozen=True)
+class Begin:
+    pass
+
+
+@dataclass(frozen=True)
+class Commit:
+    pass
+
+
+@dataclass(frozen=True)
+class Rollback:
+    pass
+
+
+@dataclass(frozen=True)
+class ShowTables:
+    pass
+
+
+@dataclass(frozen=True)
+class Describe:
+    table: str
+
+
+@dataclass(frozen=True)
+class CheckDatabase:
+    pass
+
+
+Statement = (
+    CreateTable | DropTable | CreateIndex | DropIndex | Insert | Select
+    | Delete | Update | Begin | Commit | Rollback | ShowTables | Describe
+    | CheckDatabase
+)

@@ -1,0 +1,276 @@
+"""Execution of parsed SQL statements against a Database.
+
+The interpreter is the glue between the SQL front-end and the engine:
+``CREATE TABLE ... FOREIGN KEY ... MATCH PARTIAL`` declares, indexes
+(per the ``WITH STRUCTURE`` clause, default Bounded) and enforces the
+constraint through :class:`~repro.core.enforcement.EnforcedForeignKey`;
+DML flows through :mod:`repro.query.dml` with all the trigger machinery
+live.  Results come back as :class:`SqlResult` objects with a console
+rendering, which the REPL example prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..constraints.checker import check_database
+from ..constraints.keys import CandidateKey, PrimaryKey
+from ..constraints.foreign_key import ForeignKey
+from ..core.enforcement import EnforcedForeignKey
+from ..errors import QueryError, TransactionError
+from ..indexes.definition import IndexDefinition
+from ..nulls import NULL
+from ..query import dml, executor
+from ..query.explain import explain as explain_query
+from ..storage.database import Database
+from ..storage.schema import Column
+from . import ast
+from .parser import parse
+
+
+@dataclass
+class SqlResult:
+    """Outcome of one statement."""
+
+    statement: ast.Statement
+    message: str = ""
+    columns: tuple[str, ...] = ()
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    rowcount: int = 0
+
+    def render(self) -> str:
+        if not self.columns:
+            return self.message
+        widths = [
+            max(len(c), *(len(_render_value(r[i])) for r in self.rows))
+            if self.rows else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append(" | ".join(
+                _render_value(v).ljust(w) for v, w in zip(row, widths)
+            ))
+        lines.append(f"({len(self.rows)} row{'s' if len(self.rows) != 1 else ''})")
+        return "\n".join(lines)
+
+
+def _render_value(value: Any) -> str:
+    if value is NULL:
+        return "NULL"
+    return str(value)
+
+
+class SqlSession:
+    """A connection-like object: one database, one transaction slot."""
+
+    def __init__(self, db: Database | None = None) -> None:
+        self.db = db if db is not None else Database("sql")
+        self._enforced: dict[str, EnforcedForeignKey] = {}
+        self._fk_counter = 0
+
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> list[SqlResult]:
+        """Parse and run a batch; returns one result per statement."""
+        return [self._run(statement) for statement in parse(sql)]
+
+    def execute_one(self, sql: str) -> SqlResult:
+        results = self.execute(sql)
+        if len(results) != 1:
+            raise QueryError(f"expected one statement, got {len(results)}")
+        return results[0]
+
+    # ------------------------------------------------------------------
+
+    def _run(self, statement: ast.Statement) -> SqlResult:
+        handler = getattr(self, f"_run_{type(statement).__name__.lower()}", None)
+        if handler is None:  # pragma: no cover - parser prevents this
+            raise QueryError(f"unsupported statement {statement!r}")
+        return handler(statement)
+
+    # --- DDL ----------------------------------------------------------
+
+    def _run_createtable(self, statement: ast.CreateTable) -> SqlResult:
+        columns = []
+        for c in statement.columns:
+            nullable = c.nullable
+            if statement.primary_key and c.name in statement.primary_key:
+                nullable = False
+            columns.append(Column(
+                c.name, c.dtype, nullable,
+                NULL if c.default is None else c.default,
+            ))
+        self.db.create_table(statement.name, columns)
+        if statement.primary_key:
+            self.db.add_candidate_key(
+                PrimaryKey(statement.name, statement.primary_key)
+            )
+        for unique in statement.unique_keys:
+            self.db.add_candidate_key(CandidateKey(statement.name, unique))
+        messages = [f"table {statement.name} created"]
+        for clause in statement.foreign_keys:
+            self._fk_counter += 1
+            fk = ForeignKey(
+                f"fk_{statement.name}_{self._fk_counter}",
+                statement.name, clause.fk_columns,
+                clause.parent_table, clause.key_columns,
+                match=clause.match,
+                on_delete=clause.on_delete,
+                on_update=clause.on_update,
+            )
+            efk = EnforcedForeignKey.create(self.db, fk, clause.structure)
+            self._enforced[fk.name] = efk
+            messages.append(
+                f"foreign key {fk.name} enforced "
+                f"(MATCH {clause.match.value.upper()}, "
+                f"structure {clause.structure.label}, {efk.n_indexes} indexes)"
+            )
+        return SqlResult(statement, message="; ".join(messages))
+
+    def _run_droptable(self, statement: ast.DropTable) -> SqlResult:
+        doomed = [
+            name for name, efk in self._enforced.items()
+            if efk.fk.child_table == statement.name
+            or efk.fk.parent_table == statement.name
+        ]
+        for name in doomed:
+            self._enforced.pop(name).drop()
+        self.db.drop_table(statement.name)
+        return SqlResult(statement, message=f"table {statement.name} dropped")
+
+    def _run_createindex(self, statement: ast.CreateIndex) -> SqlResult:
+        definition = IndexDefinition(
+            statement.name, statement.columns, statement.kind, statement.unique
+        )
+        self.db.create_index(statement.table, definition)
+        return SqlResult(statement, message=f"index {statement.name} created")
+
+    def _run_dropindex(self, statement: ast.DropIndex) -> SqlResult:
+        self.db.drop_index(statement.table, statement.name)
+        return SqlResult(statement, message=f"index {statement.name} dropped")
+
+    # --- DML ----------------------------------------------------------
+
+    def _run_insert(self, statement: ast.Insert) -> SqlResult:
+        table = self.db.table(statement.table)
+        count = 0
+        for values in statement.rows:
+            if statement.columns is not None:
+                if len(values) != len(statement.columns):
+                    raise QueryError(
+                        f"{len(statement.columns)} columns but "
+                        f"{len(values)} values"
+                    )
+                dml.insert(self.db, statement.table,
+                           dict(zip(statement.columns, values)))
+            else:
+                if len(values) != len(table.schema):
+                    raise QueryError(
+                        f"table {statement.table} has {len(table.schema)} "
+                        f"columns but {len(values)} values were given"
+                    )
+                dml.insert(self.db, statement.table, values)
+            count += 1
+        return SqlResult(statement, message=f"{count} row(s) inserted",
+                         rowcount=count)
+
+    def _run_select(self, statement: ast.Select) -> SqlResult:
+        if statement.explain:
+            return SqlResult(
+                statement,
+                message=explain_query(self.db, statement.table, statement.where),
+            )
+        if statement.count_star:
+            count = executor.count(self.db, statement.table, statement.where)
+            return SqlResult(statement, columns=("count",), rows=[(count,)],
+                             rowcount=1)
+        table = self.db.table(statement.table)
+        columns = statement.columns or table.schema.column_names
+        rows = executor.select(
+            self.db, statement.table, statement.where, columns, statement.limit
+        )
+        return SqlResult(statement, columns=tuple(columns), rows=rows,
+                         rowcount=len(rows))
+
+    def _run_delete(self, statement: ast.Delete) -> SqlResult:
+        count = dml.delete_where(self.db, statement.table, statement.where)
+        return SqlResult(statement, message=f"{count} row(s) deleted",
+                         rowcount=count)
+
+    def _run_update(self, statement: ast.Update) -> SqlResult:
+        count = dml.update_where(
+            self.db, statement.table, dict(statement.assignments),
+            statement.where,
+        )
+        return SqlResult(statement, message=f"{count} row(s) updated",
+                         rowcount=count)
+
+    # --- transactions & admin -----------------------------------------
+
+    def _run_begin(self, statement: ast.Begin) -> SqlResult:
+        self.db.begin()
+        return SqlResult(statement, message="transaction started")
+
+    def _run_commit(self, statement: ast.Commit) -> SqlResult:
+        txn = self.db.active_transaction
+        if txn is None:
+            raise TransactionError("no transaction is active")
+        txn.commit()
+        return SqlResult(statement, message="committed")
+
+    def _run_rollback(self, statement: ast.Rollback) -> SqlResult:
+        txn = self.db.active_transaction
+        if txn is None:
+            raise TransactionError("no transaction is active")
+        txn.rollback()
+        return SqlResult(statement, message="rolled back")
+
+    def _run_showtables(self, statement: ast.ShowTables) -> SqlResult:
+        rows = [
+            (table.name, table.row_count, len(table.indexes))
+            for table in self.db.tables.values()
+        ]
+        return SqlResult(statement, columns=("table", "rows", "indexes"),
+                         rows=rows, rowcount=len(rows))
+
+    def _run_describe(self, statement: ast.Describe) -> SqlResult:
+        table = self.db.table(statement.table)
+        rows = []
+        for column in table.schema.columns:
+            rows.append((
+                column.name,
+                column.dtype.value,
+                "NO" if not column.nullable else "YES",
+                _render_value(column.default),
+            ))
+        result = SqlResult(
+            statement, columns=("column", "type", "nullable", "default"),
+            rows=rows, rowcount=len(rows),
+        )
+        extras = [index.definition.describe() for index in table.indexes]
+        extras += [
+            fk.describe() for fk in self.db.foreign_keys
+            if statement.table in (fk.child_table, fk.parent_table)
+        ]
+        if extras:
+            result.message = "\n".join(extras)
+        return result
+
+    def _run_checkdatabase(self, statement: ast.CheckDatabase) -> SqlResult:
+        violations = check_database(self.db)
+        rows = [
+            (v.constraint, v.table, v.rid, v.reason) for v in violations
+        ]
+        result = SqlResult(
+            statement, columns=("constraint", "table", "rid", "reason"),
+            rows=rows, rowcount=len(rows),
+        )
+        result.message = (
+            "database satisfies every declared constraint"
+            if not violations else f"{len(violations)} violation(s)"
+        )
+        return result

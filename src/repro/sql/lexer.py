@@ -1,0 +1,96 @@
+"""Tokenizer for the repro SQL dialect.
+
+The dialect covers what the paper's experiments need from SQL: DDL with
+foreign keys carrying a ``MATCH`` clause, single-table DML and queries,
+transactions, and ``EXPLAIN``.  Tokens follow SQL conventions: keywords
+and identifiers are case-insensitive (normalised to lower case),
+strings use single quotes with ``''`` escaping, and ``--`` starts a
+line comment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import QueryError
+
+
+class TokenType(str, Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    END = "end"
+
+
+#: Reserved words recognised as keywords (lower case).
+KEYWORDS = frozenset("""
+    create drop table index unique primary key foreign references match
+    simple partial full on delete update set default cascade restrict no
+    action insert into values select from where and or not null is limit
+    explain begin commit rollback show tables describe using hash btree
+    check database with structure true false integer int float real text
+    varchar boolean bool as order by asc desc count
+""".split())
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[(),;.*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+    def __repr__(self) -> str:
+        return f"<{self.type.value}:{self.value}>"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize *sql*; raises :class:`QueryError` on stray characters."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {sql[position]!r} at offset {position}"
+            )
+        if match.lastgroup == "ws":
+            position = match.end()
+            continue
+        text = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token(TokenType.NUMBER, text, position))
+        elif match.lastgroup == "string":
+            tokens.append(Token(TokenType.STRING, text[1:-1].replace("''", "'"),
+                                position))
+        elif match.lastgroup == "word":
+            lowered = text.lower()
+            kind = TokenType.KEYWORD if lowered in KEYWORDS else TokenType.IDENTIFIER
+            tokens.append(Token(kind, lowered if kind is TokenType.KEYWORD else text,
+                                position))
+        elif match.lastgroup == "op":
+            tokens.append(Token(TokenType.OPERATOR, text, position))
+        else:
+            tokens.append(Token(TokenType.PUNCTUATION, text, position))
+        position = match.end()
+    tokens.append(Token(TokenType.END, "", len(sql)))
+    return tokens

@@ -1,0 +1,495 @@
+"""Recursive-descent parser for the repro SQL dialect.
+
+Grammar (statements end at ';' or end of input)::
+
+    CREATE TABLE t (coldef [, ...] [, table-constraint ...])
+    coldef            := name type [NOT NULL] [DEFAULT literal]
+    table-constraint  := PRIMARY KEY (cols)
+                       | UNIQUE (cols)
+                       | FOREIGN KEY (cols) REFERENCES t (cols)
+                         [MATCH SIMPLE|PARTIAL|FULL]
+                         [ON DELETE action] [ON UPDATE action]
+                         [WITH STRUCTURE name]
+    action            := CASCADE | RESTRICT | NO ACTION | SET NULL | SET DEFAULT
+    CREATE [UNIQUE] INDEX name ON t (cols) [USING BTREE|HASH]
+    DROP TABLE t | DROP INDEX name ON t
+    INSERT INTO t [(cols)] VALUES (lits) [, (lits) ...]
+    SELECT */cols/COUNT(*) FROM t [WHERE cond] [LIMIT n]
+    EXPLAIN SELECT ...
+    DELETE FROM t [WHERE cond]
+    UPDATE t SET c = lit [, ...] [WHERE cond]
+    BEGIN | COMMIT | ROLLBACK | SHOW TABLES | DESCRIBE t | CHECK DATABASE
+
+    cond   := or_term (OR or_term)*
+    or_term:= factor (AND factor)*
+    factor := NOT factor | '(' cond ')' | comparison
+    comparison := col (=|<|>|<=|>=|<>|!=) literal | col IS [NOT] NULL
+
+The ``MATCH`` clause and the ``WITH STRUCTURE`` extension are the whole
+point: ``MATCH PARTIAL`` foreign keys get the paper's trigger-based
+enforcement under the chosen index structure (default Bounded).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..constraints.actions import ReferentialAction
+from ..constraints.foreign_key import MatchSemantics
+from ..core.strategies import IndexStructure
+from ..errors import QueryError
+from ..indexes.definition import IndexKind
+from ..nulls import NULL
+from ..query.predicate import (
+    And,
+    Cmp,
+    Eq,
+    IsNotNull,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+)
+from ..storage.schema import DataType
+from . import ast
+from .lexer import Token, TokenType, tokenize
+
+_TYPES = {
+    "integer": DataType.INTEGER,
+    "int": DataType.INTEGER,
+    "float": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "text": DataType.TEXT,
+    "varchar": DataType.TEXT,
+    "boolean": DataType.BOOLEAN,
+    "bool": DataType.BOOLEAN,
+}
+
+_STRUCTURES = {s.value: s for s in IndexStructure}
+_STRUCTURES.update({s.label.lower().replace("+", "_"): s for s in IndexStructure})
+
+
+class Parser:
+    """One parser instance per statement batch."""
+
+    def __init__(self, sql: str) -> None:
+        self._tokens = tokenize(sql)
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._position += 1
+        return token
+
+    def _error(self, expected: str) -> QueryError:
+        token = self._current
+        return QueryError(
+            f"expected {expected}, found {token.value!r} at offset {token.position}"
+        )
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        if self._current.matches(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, *keywords: str) -> str:
+        if not self._current.matches(*keywords):
+            raise self._error(" or ".join(k.upper() for k in keywords))
+        return self._advance().value
+
+    def _accept_punct(self, symbol: str) -> bool:
+        token = self._current
+        if token.type is TokenType.PUNCTUATION and token.value == symbol:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, symbol: str) -> None:
+        if not self._accept_punct(symbol):
+            raise self._error(f"{symbol!r}")
+
+    def _identifier(self) -> str:
+        token = self._current
+        if token.type is TokenType.IDENTIFIER:
+            return self._advance().value
+        # allow non-reserved use of some keywords as identifiers
+        if token.type is TokenType.KEYWORD and token.value in ("key", "index",
+                                                               "action", "match"):
+            return self._advance().value
+        raise self._error("an identifier")
+
+    def _literal(self) -> Any:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        if token.matches("null"):
+            self._advance()
+            return NULL
+        if token.matches("true"):
+            self._advance()
+            return True
+        if token.matches("false"):
+            self._advance()
+            return False
+        raise self._error("a literal")
+
+    def _column_list(self) -> tuple[str, ...]:
+        self._expect_punct("(")
+        columns = [self._identifier()]
+        while self._accept_punct(","):
+            columns.append(self._identifier())
+        self._expect_punct(")")
+        return tuple(columns)
+
+    # ------------------------------------------------------------------
+    # Entry points
+
+    def parse_statements(self) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while self._current.type is not TokenType.END:
+            if self._accept_punct(";"):
+                continue
+            statements.append(self._statement())
+            if self._current.type is not TokenType.END:
+                self._expect_punct(";")
+        return statements
+
+    def _statement(self) -> ast.Statement:
+        token = self._current
+        if token.matches("create"):
+            return self._create()
+        if token.matches("drop"):
+            return self._drop()
+        if token.matches("insert"):
+            return self._insert()
+        if token.matches("select"):
+            return self._select(explain=False)
+        if token.matches("explain"):
+            self._advance()
+            return self._select(explain=True)
+        if token.matches("delete"):
+            return self._delete()
+        if token.matches("update"):
+            return self._update()
+        if token.matches("begin"):
+            self._advance()
+            return ast.Begin()
+        if token.matches("commit"):
+            self._advance()
+            return ast.Commit()
+        if token.matches("rollback"):
+            self._advance()
+            return ast.Rollback()
+        if token.matches("show"):
+            self._advance()
+            self._expect_keyword("tables")
+            return ast.ShowTables()
+        if token.matches("describe"):
+            self._advance()
+            return ast.Describe(self._identifier())
+        if token.matches("check"):
+            self._advance()
+            self._expect_keyword("database")
+            return ast.CheckDatabase()
+        raise self._error("a statement")
+
+    # ------------------------------------------------------------------
+    # DDL
+
+    def _create(self) -> ast.Statement:
+        self._expect_keyword("create")
+        if self._current.matches("table"):
+            return self._create_table()
+        unique = self._accept_keyword("unique")
+        self._expect_keyword("index")
+        return self._create_index(unique)
+
+    def _create_table(self) -> ast.CreateTable:
+        self._expect_keyword("table")
+        name = self._identifier()
+        self._expect_punct("(")
+        columns: list[ast.ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        unique_keys: list[tuple[str, ...]] = []
+        foreign_keys: list[ast.ForeignKeyClause] = []
+        while True:
+            if self._current.matches("primary"):
+                self._advance()
+                self._expect_keyword("key")
+                if primary_key:
+                    raise QueryError("multiple PRIMARY KEY clauses")
+                primary_key = self._column_list()
+            elif self._current.matches("unique"):
+                self._advance()
+                unique_keys.append(self._column_list())
+            elif self._current.matches("foreign"):
+                foreign_keys.append(self._foreign_key_clause())
+            else:
+                columns.append(self._column_def())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        if not columns:
+            raise QueryError(f"table {name!r} needs at least one column")
+        return ast.CreateTable(
+            name, tuple(columns), primary_key, tuple(unique_keys),
+            tuple(foreign_keys),
+        )
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self._identifier()
+        type_token = self._current
+        if type_token.type is not TokenType.KEYWORD or type_token.value not in _TYPES:
+            raise self._error("a column type")
+        self._advance()
+        dtype = _TYPES[type_token.value]
+        if self._accept_punct("("):  # VARCHAR(80) style length, ignored
+            self._literal()
+            self._expect_punct(")")
+        nullable = True
+        default: Any = None
+        while True:
+            if self._current.matches("not"):
+                self._advance()
+                self._expect_keyword("null")
+                nullable = False
+            elif self._current.matches("default"):
+                self._advance()
+                default = self._literal()
+            else:
+                break
+        return ast.ColumnDef(name, dtype, nullable, default)
+
+    def _foreign_key_clause(self) -> ast.ForeignKeyClause:
+        self._expect_keyword("foreign")
+        self._expect_keyword("key")
+        fk_columns = self._column_list()
+        self._expect_keyword("references")
+        parent = self._identifier()
+        key_columns = self._column_list()
+        match = MatchSemantics.SIMPLE
+        on_delete = ReferentialAction.SET_NULL
+        on_update = ReferentialAction.SET_NULL
+        structure = IndexStructure.BOUNDED
+        while True:
+            if self._current.matches("match"):
+                self._advance()
+                which = self._expect_keyword("simple", "partial", "full")
+                match = MatchSemantics(which)
+            elif self._current.matches("on"):
+                self._advance()
+                event = self._expect_keyword("delete", "update")
+                action = self._referential_action()
+                if event == "delete":
+                    on_delete = action
+                else:
+                    on_update = action
+            elif self._current.matches("with"):
+                self._advance()
+                self._expect_keyword("structure")
+                structure = self._structure_name()
+            else:
+                break
+        return ast.ForeignKeyClause(
+            fk_columns, parent, key_columns, match, on_delete, on_update,
+            structure,
+        )
+
+    def _referential_action(self) -> ReferentialAction:
+        if self._accept_keyword("cascade"):
+            return ReferentialAction.CASCADE
+        if self._accept_keyword("restrict"):
+            return ReferentialAction.RESTRICT
+        if self._accept_keyword("no"):
+            self._expect_keyword("action")
+            return ReferentialAction.NO_ACTION
+        self._expect_keyword("set")
+        which = self._expect_keyword("null", "default")
+        return (ReferentialAction.SET_NULL if which == "null"
+                else ReferentialAction.SET_DEFAULT)
+
+    def _structure_name(self) -> IndexStructure:
+        token = self._advance()
+        name = token.value.lower()
+        if name not in _STRUCTURES:
+            raise QueryError(
+                f"unknown index structure {token.value!r}; options: "
+                f"{sorted(s.value for s in IndexStructure)}"
+            )
+        return _STRUCTURES[name]
+
+    def _create_index(self, unique: bool) -> ast.CreateIndex:
+        name = self._identifier()
+        self._expect_keyword("on")
+        table = self._identifier()
+        columns = self._column_list()
+        kind = IndexKind.BTREE
+        if self._accept_keyword("using"):
+            which = self._expect_keyword("btree", "hash")
+            kind = IndexKind(which)
+        return ast.CreateIndex(name, table, columns, kind, unique)
+
+    def _drop(self) -> ast.Statement:
+        self._expect_keyword("drop")
+        if self._accept_keyword("table"):
+            return ast.DropTable(self._identifier())
+        self._expect_keyword("index")
+        name = self._identifier()
+        self._expect_keyword("on")
+        return ast.DropIndex(name, self._identifier())
+
+    # ------------------------------------------------------------------
+    # DML / queries
+
+    def _insert(self) -> ast.Insert:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._identifier()
+        columns: tuple[str, ...] | None = None
+        if (self._current.type is TokenType.PUNCTUATION
+                and self._current.value == "("):
+            columns = self._column_list()
+        self._expect_keyword("values")
+        rows = [self._value_row()]
+        while self._accept_punct(","):
+            rows.append(self._value_row())
+        return ast.Insert(table, columns, tuple(rows))
+
+    def _value_row(self) -> tuple[Any, ...]:
+        self._expect_punct("(")
+        values = [self._literal()]
+        while self._accept_punct(","):
+            values.append(self._literal())
+        self._expect_punct(")")
+        return tuple(values)
+
+    def _select(self, explain: bool) -> ast.Select:
+        self._expect_keyword("select")
+        columns: tuple[str, ...] | None
+        count_star = False
+        if self._accept_punct("*"):
+            columns = None
+        elif self._current.matches("count"):
+            self._advance()
+            self._expect_punct("(")
+            self._expect_punct("*")
+            self._expect_punct(")")
+            columns = None
+            count_star = True
+        else:
+            names = [self._identifier()]
+            while self._accept_punct(","):
+                names.append(self._identifier())
+            columns = tuple(names)
+        self._expect_keyword("from")
+        table = self._identifier()
+        where = self._where_clause()
+        limit = None
+        if self._accept_keyword("limit"):
+            value = self._literal()
+            if not isinstance(value, int) or value < 0:
+                raise QueryError("LIMIT needs a non-negative integer")
+            limit = value
+        return ast.Select(table, columns, where, limit, explain, count_star)
+
+    def _delete(self) -> ast.Delete:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._identifier()
+        return ast.Delete(table, self._where_clause())
+
+    def _update(self) -> ast.Update:
+        self._expect_keyword("update")
+        table = self._identifier()
+        self._expect_keyword("set")
+        assignments = [self._assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._assignment())
+        return ast.Update(table, tuple(assignments), self._where_clause())
+
+    def _assignment(self) -> tuple[str, Any]:
+        column = self._identifier()
+        token = self._current
+        if token.type is not TokenType.OPERATOR or token.value != "=":
+            raise self._error("'='")
+        self._advance()
+        return (column, self._literal())
+
+    # ------------------------------------------------------------------
+    # WHERE
+
+    def _where_clause(self) -> Predicate | None:
+        if not self._accept_keyword("where"):
+            return None
+        return self._disjunction()
+
+    def _disjunction(self) -> Predicate:
+        terms = [self._conjunction()]
+        while self._accept_keyword("or"):
+            terms.append(self._conjunction())
+        return terms[0] if len(terms) == 1 else Or(*terms)
+
+    def _conjunction(self) -> Predicate:
+        terms = [self._factor()]
+        while self._accept_keyword("and"):
+            terms.append(self._factor())
+        return terms[0] if len(terms) == 1 else And(*terms)
+
+    def _factor(self) -> Predicate:
+        if self._accept_keyword("not"):
+            return Not(self._factor())
+        if self._accept_punct("("):
+            inner = self._disjunction()
+            self._expect_punct(")")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Predicate:
+        column = self._identifier()
+        token = self._current
+        if token.matches("is"):
+            self._advance()
+            if self._accept_keyword("not"):
+                self._expect_keyword("null")
+                return IsNotNull(column)
+            self._expect_keyword("null")
+            return IsNull(column)
+        if token.type is not TokenType.OPERATOR:
+            raise self._error("a comparison operator or IS")
+        operator = self._advance().value
+        value = self._literal()
+        if value is NULL:
+            raise QueryError(
+                f"comparisons against NULL are never true; use "
+                f"{column} IS NULL"
+            )
+        if operator == "=":
+            return Eq(column, value)
+        if operator in ("<>", "!="):
+            return Cmp(column, "!=", value)
+        return Cmp(column, operator, value)
+
+
+def parse(sql: str) -> list[ast.Statement]:
+    """Parse a batch of ';'-separated statements."""
+    return Parser(sql).parse_statements()
+
+
+def parse_one(sql: str) -> ast.Statement:
+    """Parse exactly one statement."""
+    statements = parse(sql)
+    if len(statements) != 1:
+        raise QueryError(f"expected one statement, got {len(statements)}")
+    return statements[0]

@@ -1,0 +1,19 @@
+"""Storage substrate: schemas, heaps, tables and the database catalog."""
+
+from .database import Database
+from .heap import HeapFile, Row
+from .schema import Column, DataType, TableSchema
+from .statistics import ColumnStatistics, TableStatistics
+from .table import Table
+
+__all__ = [
+    "Database",
+    "HeapFile",
+    "Row",
+    "Column",
+    "DataType",
+    "TableSchema",
+    "ColumnStatistics",
+    "TableStatistics",
+    "Table",
+]

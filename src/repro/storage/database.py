@@ -1,0 +1,190 @@
+"""The database catalog: tables, constraints, triggers, one cost tracker.
+
+:class:`Database` is the facade user code talks to.  It owns:
+
+* the tables and their indexes,
+* the declared candidate keys and foreign keys,
+* the trigger registry, and
+* the shared :class:`~repro.indexes.cost.CostTracker`.
+
+Logical DML (``insert`` / ``delete_where`` / ``update_where``) is
+implemented in :mod:`repro.query.dml`; the thin methods here delegate to
+it (imported lazily to keep the package layering acyclic).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any
+
+from ..errors import CatalogError
+from ..indexes.cost import CostTracker
+from ..indexes.definition import IndexDefinition
+from ..triggers.framework import TriggerRegistry
+from .schema import Column, TableSchema
+from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..constraints.foreign_key import ForeignKey
+    from ..constraints.keys import CandidateKey
+    from ..query.predicate import Predicate
+    from ..query.transaction import Transaction
+
+
+class Database:
+    """A named collection of tables with shared instrumentation."""
+
+    def __init__(self, name: str = "db", index_order: int = 64) -> None:
+        self.name = name
+        self.tracker = CostTracker()
+        self.tables: dict[str, Table] = {}
+        self.triggers = TriggerRegistry()
+        self.foreign_keys: list["ForeignKey"] = []
+        self.candidate_keys: dict[str, list["CandidateKey"]] = {}
+        self._index_order = index_order
+        self._active_transaction: "Transaction | None" = None
+        #: Callbacks invoked per undone entry during transaction rollback
+        #: (physical undo bypasses triggers; auxiliary structures that
+        #: maintain themselves via triggers subscribe here instead).
+        self.physical_undo_observers: list = []
+
+    # ------------------------------------------------------------------
+    # Catalog operations
+
+    def create_table(
+        self, name: str, columns: Iterable[Column] | TableSchema
+    ) -> Table:
+        if name in self.tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, columns, self.tracker, self._index_order)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise CatalogError(f"no table named {name!r}")
+        referencing = [
+            fk for fk in self.foreign_keys
+            if fk.parent_table == name or fk.child_table == name
+        ]
+        if referencing:
+            raise CatalogError(
+                f"table {name!r} participates in foreign keys: "
+                f"{[fk.name for fk in referencing]}"
+            )
+        del self.tables[name]
+        self.candidate_keys.pop(name, None)
+        self.triggers.drop_for_table(name)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def create_index(self, table_name: str, definition: IndexDefinition):
+        return self.table(table_name).create_index(definition)
+
+    def drop_index(self, table_name: str, index_name: str) -> None:
+        self.table(table_name).drop_index(index_name)
+
+    # ------------------------------------------------------------------
+    # Constraint registration (enforcement lives in query.dml)
+
+    def add_candidate_key(self, key: "CandidateKey") -> None:
+        from ..constraints.keys import CandidateKey  # noqa: F401  (type check)
+
+        key.attach(self)
+        self.candidate_keys.setdefault(key.table, []).append(key)
+
+    def add_foreign_key(self, fk: "ForeignKey") -> None:
+        fk.validate_against(self)
+        self.foreign_keys.append(fk)
+
+    def drop_foreign_key(self, name: str) -> None:
+        before = len(self.foreign_keys)
+        self.foreign_keys = [fk for fk in self.foreign_keys if fk.name != name]
+        if len(self.foreign_keys) == before:
+            raise CatalogError(f"no foreign key named {name!r}")
+
+    def foreign_keys_on_child(self, table_name: str) -> list["ForeignKey"]:
+        return [fk for fk in self.foreign_keys if fk.child_table == table_name]
+
+    def foreign_keys_on_parent(self, table_name: str) -> list["ForeignKey"]:
+        return [fk for fk in self.foreign_keys if fk.parent_table == table_name]
+
+    # ------------------------------------------------------------------
+    # Logical DML (delegates to repro.query.dml)
+
+    def insert(self, table_name: str, values: Sequence[Any] | Mapping[str, Any]) -> int:
+        from ..query import dml
+
+        return dml.insert(self, table_name, values)
+
+    def delete_where(self, table_name: str, predicate: "Predicate | None" = None) -> int:
+        from ..query import dml
+
+        return dml.delete_where(self, table_name, predicate)
+
+    def update_where(
+        self,
+        table_name: str,
+        assignments: Mapping[str, Any],
+        predicate: "Predicate | None" = None,
+    ) -> int:
+        from ..query import dml
+
+        return dml.update_where(self, table_name, assignments, predicate)
+
+    def select(
+        self,
+        table_name: str,
+        predicate: "Predicate | None" = None,
+        columns: Sequence[str] | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[Any, ...]]:
+        from ..query import executor
+
+        return executor.select(self, table_name, predicate, columns, limit)
+
+    def exists(self, table_name: str, predicate: "Predicate | None" = None) -> bool:
+        from ..query import executor
+
+        return executor.exists(self, table_name, predicate)
+
+    def explain(self, table_name: str, predicate: "Predicate | None" = None) -> str:
+        from ..query.explain import explain as explain_query
+
+        return explain_query(self, table_name, predicate)
+
+    # ------------------------------------------------------------------
+    # Transactions
+
+    def begin(self) -> "Transaction":
+        from ..query.transaction import Transaction
+
+        return Transaction(self)
+
+    @property
+    def active_transaction(self) -> "Transaction | None":
+        return self._active_transaction
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line catalog summary used by examples and docs."""
+        lines = [f"Database {self.name!r}"]
+        for table in self.tables.values():
+            lines.append(f"TABLE {table.name} ({table.row_count} rows)")
+            lines.append(table.schema.describe())
+            for index in table.indexes:
+                lines.append(f"  {index.definition.describe()}")
+        for keys in self.candidate_keys.values():
+            for key in keys:
+                lines.append(f"KEY {key.describe()}")
+        for fk in self.foreign_keys:
+            lines.append(f"FOREIGN KEY {fk.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Table schemas: column definitions, types and row validation."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from ..errors import SchemaError
+from ..nulls import NULL
+
+
+class DataType(str, Enum):
+    """Supported column types.
+
+    The paper's workloads only need integers and text; FLOAT and BOOLEAN
+    round the set out for the example applications.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+
+    def accepts(self, value: Any) -> bool:
+        """Type check one non-null Python value against this SQL type."""
+        if self is DataType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is DataType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is DataType.TEXT:
+            return isinstance(value, str)
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema.
+
+    ``default`` is the value used by the SET DEFAULT referential action
+    and by inserts that omit the column; it defaults to the null marker.
+    """
+
+    name: str
+    dtype: DataType = DataType.INTEGER
+    nullable: bool = True
+    default: Any = NULL
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.default is not NULL and not self.dtype.accepts(self.default):
+            raise SchemaError(
+                f"column {self.name!r}: default {self.default!r} does not "
+                f"match type {self.dtype.value}"
+            )
+        if self.default is NULL and not self.nullable:
+            # NOT NULL columns without an explicit default simply have no
+            # usable default; SET DEFAULT on them raises at action time.
+            pass
+
+    def validate(self, value: Any) -> Any:
+        """Validate one value for this column, returning it unchanged."""
+        if value is NULL:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is NOT NULL")
+            return value
+        if value is None:
+            raise SchemaError(
+                f"column {self.name!r}: use repro.NULL, not Python None"
+            )
+        if not self.dtype.accepts(value):
+            raise SchemaError(
+                f"column {self.name!r}: {value!r} is not a {self.dtype.value}"
+            )
+        return value
+
+
+class TableSchema:
+    """An ordered collection of columns with fast name→position lookup."""
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self.columns: tuple[Column, ...] = tuple(columns)
+        if not self.columns:
+            raise SchemaError("a table needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self._positions: dict[str, int] = {c.name: i for i, c in enumerate(self.columns)}
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._positions
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def position(self, name: str) -> int:
+        """Return the 0-based position of column *name*."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def positions(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Return positions for several column names at once."""
+        return tuple(self.position(n) for n in names)
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    # ------------------------------------------------------------------
+
+    def validate_row(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Validate a full positional row and return it as a tuple."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(values)} values, schema has {len(self.columns)} columns"
+            )
+        return tuple(
+            col.validate(value) for col, value in zip(self.columns, values)
+        )
+
+    def row_from_mapping(self, mapping: Mapping[str, Any]) -> tuple[Any, ...]:
+        """Build a positional row from a {column: value} mapping.
+
+        Missing columns take their default; unknown keys raise.
+        """
+        unknown = set(mapping) - set(self._positions)
+        if unknown:
+            raise SchemaError(f"unknown columns: {sorted(unknown)}")
+        return self.validate_row(
+            [mapping.get(col.name, col.default) for col in self.columns]
+        )
+
+    def project(self, row: Sequence[Any], names: Sequence[str]) -> tuple[Any, ...]:
+        """Project *row* onto the named columns, in the order given."""
+        return tuple(row[self.position(n)] for n in names)
+
+    def describe(self) -> str:
+        """Human-readable schema summary (one line per column)."""
+        lines = []
+        for col in self.columns:
+            null = "" if col.nullable else " NOT NULL"
+            default = "" if col.default is NULL else f" DEFAULT {col.default!r}"
+            lines.append(f"  {col.name} {col.dtype.value.upper()}{null}{default}")
+        return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Trigger framework and the paper's partial-RI trigger generator."""
+
+from .framework import Trigger, TriggerEvent, TriggerRegistry
+
+__all__ = ["Trigger", "TriggerEvent", "TriggerRegistry"]

@@ -1,0 +1,39 @@
+"""Workload generators: synthetic (§7.1), TPC-H, TPC-C, Gene Ontology (§8)."""
+
+from .geneontology import GeneOntologyConfig, GeneOntologyDataset
+from .geneontology import generate as generate_geneontology
+from .mar import inject_nulls, mar_probability
+from .synthetic import (
+    SyntheticConfig,
+    SyntheticDataset,
+    delete_stream,
+    insert_stream,
+    partial_insert_stream,
+    total_insert_stream,
+)
+from .synthetic import generate as generate_synthetic
+from .tpcc import TpccConfig, TpccDataset
+from .tpcc import generate as generate_tpcc
+from .tpch import TpchConfig, TpchDataset
+from .tpch import generate as generate_tpch
+
+__all__ = [
+    "GeneOntologyConfig",
+    "GeneOntologyDataset",
+    "generate_geneontology",
+    "inject_nulls",
+    "mar_probability",
+    "SyntheticConfig",
+    "SyntheticDataset",
+    "delete_stream",
+    "insert_stream",
+    "partial_insert_stream",
+    "total_insert_stream",
+    "generate_synthetic",
+    "TpccConfig",
+    "TpccDataset",
+    "generate_tpcc",
+    "TpchConfig",
+    "TpchDataset",
+    "generate_tpch",
+]

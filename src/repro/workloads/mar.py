@@ -1,0 +1,85 @@
+"""Missing-at-Random null injection (paper §8, citing Rubin's taxonomy).
+
+For the benchmark databases the paper introduces null markers with the
+"Missing at Random" mechanism and spreads them "evenly between the
+foreign key columns".  MAR means the probability that a value is missing
+depends only on *observed* data — never on the missing value itself.
+
+The injector implements that: the per-row missingness probability is a
+function of an observed *driver* column (rows whose driver value hashes
+into the top half get twice the base rate), and the column to null out is
+chosen uniformly among the FK columns.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..nulls import NULL
+from ..storage.table import Table
+
+
+def mar_probability(driver_value: object, base_rate: float) -> float:
+    """Missingness probability given the observed driver value.
+
+    Deterministic in the driver value (hash-based), bounded by 1.0, and
+    averaging ~1.5x the base rate across a uniform driver distribution.
+    """
+    bucket = hash(driver_value) & 1
+    return min(1.0, base_rate * (2.0 if bucket else 1.0))
+
+
+def inject_nulls(
+    table: Table,
+    fk_columns: Sequence[str],
+    base_rate: float,
+    seed: int = 23,
+    driver_column: str | None = None,
+) -> int:
+    """Null out FK components of *table* rows under the MAR mechanism.
+
+    Must run before indexes/enforcement are installed (it mutates rows
+    physically, like the paper's data preparation step).  Returns the
+    number of nulled components.  Nulls are spread evenly between the
+    foreign-key columns: each affected row nulls one uniformly-chosen FK
+    column (occasionally two, to exercise multi-null states).
+    """
+    if not 0.0 <= base_rate <= 1.0:
+        raise ValueError("base_rate must be in [0, 1]")
+    rng = random.Random(seed)
+    # Only nullable FK columns can host a marker (a NOT NULL foreign-key
+    # column simply never goes missing, as with o_id in the TPC-C tests).
+    positions = [
+        table.schema.position(c)
+        for c in fk_columns
+        if table.schema.column(c).nullable
+    ]
+    if not positions:
+        raise ValueError(
+            f"none of the columns {tuple(fk_columns)} on {table.name!r} "
+            "is nullable; nothing to inject"
+        )
+    if driver_column is None:
+        # The first non-FK column observed in the schema, else the first
+        # FK column (its pre-injection value is still "observed").
+        others = [
+            c.name for c in table.schema.columns if c.name not in set(fk_columns)
+        ]
+        driver_column = others[0] if others else fk_columns[0]
+    driver_pos = table.schema.position(driver_column)
+
+    injected = 0
+    for rid, row in list(table.heap.scan()):
+        p = mar_probability(row[driver_pos], base_rate)
+        if rng.random() >= p:
+            continue
+        new_row = list(row)
+        chosen = rng.choice(positions)
+        new_row[chosen] = NULL
+        if len(positions) > 1 and rng.random() < 0.25:
+            second = rng.choice([q for q in positions if q != chosen])
+            new_row[second] = NULL
+        table.update_rid(rid, tuple(new_row))
+        injected += 1
+    return injected

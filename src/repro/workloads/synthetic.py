@@ -1,0 +1,327 @@
+"""The synthetic workload of the paper's §7.1.
+
+Two table schemata ``P`` (parent) and ``C`` (child) with the foreign key
+``C[f1..fn] ⊆ P[k1..kn]``:
+
+* ``n`` varies from 2 to 5 ("the constraints that mostly occur in
+  practice");
+* the candidate key columns of P never carry NULL; the foreign-key
+  columns of C do;
+* **even state distribution**: every non-empty subset S of the FK
+  columns has the same number of child tuples that are NULL exactly on S
+  (the paper's "least degree of information available about which
+  indices to define");
+* the child table holds 1.5x as many tuples as the parent table;
+* the overall fraction of child tuples featuring null markers is
+  configurable (the paper also ran 50% and 80% variants).
+
+Every generated child references a real parent: copy a random parent's
+key, then null out the state's positions — so the loaded database
+satisfies partial referential integrity by construction, which the
+generator can certify via :func:`repro.constraints.check_database`.
+
+**Column domains.**  Each key column draws from a domain of
+``max(4, parent_rows // domain_divisor)`` integers.  The divisor (default
+64) controls single-column selectivity: probes through a singleton index
+scan ``~parent_rows / domain`` duplicate entries, which is the knob that
+separates compound-probe structures (Bounded) from singleton-probe
+structures (Hybrid) on total inserts, exactly as in the paper's Figure 9.
+
+**Unique parents.**  §7.5 distinguishes *unique* parents (every child of
+theirs has no alternative parent) from *non-unique* parents.  The
+generator can reserve a fraction of parents as unique by giving them
+fresh column values no other parent shares.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..constraints.foreign_key import ForeignKey, MatchSemantics
+from ..constraints.keys import PrimaryKey
+from ..core.states import State, apply_state, iter_null_states
+from ..errors import SchemaError
+from ..nulls import NULL
+from ..storage.database import Database
+from ..storage.schema import Column, DataType
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of one synthetic dataset (paper §7.1)."""
+
+    n_columns: int = 5
+    parent_rows: int = 1_000
+    child_ratio: float = 1.5
+    null_fraction: float = 0.25
+    domain_divisor: int = 100
+    unique_parent_fraction: float = 0.0
+    seed: int = 42
+    parent_table: str = "P"
+    child_table: str = "C"
+    fk_name: str = "fk_synth"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_columns <= 10:
+            raise SchemaError(f"n_columns must be in 1..10, got {self.n_columns}")
+        if self.parent_rows < 1:
+            raise SchemaError("parent_rows must be positive")
+        if not 0.0 <= self.null_fraction <= 1.0:
+            raise SchemaError("null_fraction must be in [0, 1]")
+        if not 0.0 <= self.unique_parent_fraction <= 1.0:
+            raise SchemaError("unique_parent_fraction must be in [0, 1]")
+
+    @property
+    def child_rows(self) -> int:
+        return int(self.parent_rows * self.child_ratio)
+
+    @property
+    def domain_size(self) -> int:
+        """Distinct values per key column.
+
+        Two constraints: (a) the n-fold product must comfortably exceed
+        ``parent_rows`` so distinct composite keys exist (the uniqueness
+        floor), and (b) singleton-index probes should scan roughly
+        ``domain_divisor`` duplicates, the selectivity knob discussed in
+        the module docstring.  The floor dominates for small n (2-column
+        keys get large domains and cheap singleton probes — the regime
+        where the paper finds Hybrid still competitive, Figure 6).
+        """
+        uniqueness_floor = math.ceil((4.0 * self.parent_rows) ** (1.0 / self.n_columns))
+        return max(4, uniqueness_floor, self.parent_rows // self.domain_divisor)
+
+    @property
+    def key_columns(self) -> tuple[str, ...]:
+        return tuple(f"k{i + 1}" for i in range(self.n_columns))
+
+    @property
+    def fk_columns(self) -> tuple[str, ...]:
+        return tuple(f"f{i + 1}" for i in range(self.n_columns))
+
+
+@dataclass
+class SyntheticDataset:
+    """A loaded database plus the bookkeeping the experiments need."""
+
+    db: Database
+    config: SyntheticConfig
+    fk: ForeignKey
+    parent_keys: list[tuple[int, ...]]
+    unique_parent_keys: list[tuple[int, ...]] = field(default_factory=list)
+    nonunique_parent_keys: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def parent_table(self):
+        return self.db.table(self.config.parent_table)
+
+    @property
+    def child_table(self):
+        return self.db.table(self.config.child_table)
+
+
+def _sample_unique_keys(
+    rng: random.Random, count: int, n: int, domain: int
+) -> list[tuple[int, ...]]:
+    """Draw *count* distinct n-tuples over [0, domain)."""
+    if domain**n < count:
+        raise SchemaError(
+            f"domain {domain}^{n} too small for {count} distinct parent keys"
+        )
+    keys: set[tuple[int, ...]] = set()
+    while len(keys) < count:
+        keys.add(tuple(rng.randrange(domain) for __ in range(n)))
+    ordered = sorted(keys)
+    rng.shuffle(ordered)
+    return ordered
+
+
+def _choose_state(rng: random.Random, config: SyntheticConfig, states: list[State]) -> State:
+    """Total with probability 1 - null_fraction, else a uniform state."""
+    if rng.random() >= config.null_fraction:
+        return ()
+    return states[rng.randrange(len(states))]
+
+
+def generate(config: SyntheticConfig) -> SyntheticDataset:
+    """Build and bulk-load the synthetic database (no indexes yet).
+
+    Index structures are applied afterwards (their build time is a
+    measured quantity, Table 4), and enforcement is installed by the
+    harness once the data is in place.
+    """
+    rng = random.Random(config.seed)
+    n = config.n_columns
+    db = Database(f"synthetic_n{n}_{config.parent_rows}")
+
+    db.create_table(
+        config.parent_table,
+        [Column(c, DataType.INTEGER, nullable=False) for c in config.key_columns]
+        + [Column("payload", DataType.INTEGER)],
+    )
+    db.create_table(
+        config.child_table,
+        [Column(c, DataType.INTEGER) for c in config.fk_columns]
+        + [Column("payload", DataType.INTEGER)],
+    )
+
+    # --- parents -----------------------------------------------------
+    n_unique = int(config.parent_rows * config.unique_parent_fraction)
+    n_regular = config.parent_rows - n_unique
+    regular_keys = _sample_unique_keys(rng, n_regular, n, config.domain_size)
+
+    # Unique parents take fresh values outside the shared domain, one
+    # value per column per parent, so no other parent can match any
+    # non-empty subset of their columns.
+    unique_keys: list[tuple[int, ...]] = []
+    base = config.domain_size
+    for i in range(n_unique):
+        unique_keys.append(tuple(base + i * n + j for j in range(n)))
+
+    parent_keys = regular_keys + unique_keys
+    parent = db.table(config.parent_table)
+    for key in parent_keys:
+        parent.insert_row(key + (rng.randrange(1_000_000),))
+
+    # --- children ----------------------------------------------------
+    states = list(iter_null_states(n, include_total=False, include_all_null=True))
+    child = db.table(config.child_table)
+    child_rows = config.child_rows
+    n_unique_children = int(child_rows * config.unique_parent_fraction)
+
+    for i in range(child_rows):
+        if unique_keys and i < n_unique_children:
+            key = unique_keys[rng.randrange(len(unique_keys))]
+        else:
+            key = regular_keys[rng.randrange(len(regular_keys))] if regular_keys else unique_keys[rng.randrange(len(unique_keys))]
+        state = _choose_state(rng, config, states)
+        fk_value = apply_state(key, state)
+        child.insert_row(tuple(fk_value) + (rng.randrange(1_000_000),))
+
+    fk = ForeignKey(
+        config.fk_name,
+        config.child_table,
+        config.fk_columns,
+        config.parent_table,
+        config.key_columns,
+        match=MatchSemantics.PARTIAL,
+    )
+    db.add_candidate_key(PrimaryKey(config.parent_table, config.key_columns))
+    fk.validate_against(db)
+
+    return SyntheticDataset(
+        db=db,
+        config=config,
+        fk=fk,
+        parent_keys=parent_keys,
+        unique_parent_keys=unique_keys,
+        nonunique_parent_keys=regular_keys,
+    )
+
+
+# ----------------------------------------------------------------------
+# Operation streams for the measurement loops (§7.1: 5,000 inserts and
+# 5,000 deletes per data set / structure; we scale the counts down).
+
+
+def insert_stream(
+    dataset: SyntheticDataset, count: int, seed: int = 7
+) -> list[tuple[Any, ...]]:
+    """Child rows to insert, drawn like the loaded distribution.
+
+    Each row references an existing parent so the inserts succeed (the
+    measured quantity is enforcement cost, not failure handling).
+    """
+    rng = random.Random(seed)
+    config = dataset.config
+    states = list(
+        iter_null_states(config.n_columns, include_total=False, include_all_null=True)
+    )
+    rows = []
+    for __ in range(count):
+        key = dataset.parent_keys[rng.randrange(len(dataset.parent_keys))]
+        state = _choose_state(rng, config, states)
+        rows.append(tuple(apply_state(key, state)) + (rng.randrange(1_000_000),))
+    return rows
+
+
+def total_insert_stream(
+    dataset: SyntheticDataset, count: int, seed: int = 11
+) -> list[tuple[Any, ...]]:
+    """Only total foreign-key tuples (the Figure 9 breakdown)."""
+    rng = random.Random(seed)
+    rows = []
+    for __ in range(count):
+        key = dataset.parent_keys[rng.randrange(len(dataset.parent_keys))]
+        rows.append(tuple(key) + (rng.randrange(1_000_000),))
+    return rows
+
+
+def partial_insert_stream(
+    dataset: SyntheticDataset, count: int, seed: int = 13
+) -> list[tuple[Any, ...]]:
+    """Only partially-null foreign-key tuples (the Figure 9 breakdown)."""
+    rng = random.Random(seed)
+    config = dataset.config
+    states = list(
+        iter_null_states(config.n_columns, include_total=False, include_all_null=False)
+    )
+    rows = []
+    for __ in range(count):
+        key = dataset.parent_keys[rng.randrange(len(dataset.parent_keys))]
+        state = states[rng.randrange(len(states))]
+        rows.append(tuple(apply_state(key, state)) + (rng.randrange(1_000_000),))
+    return rows
+
+
+def clustered_insert_stream(
+    dataset: SyntheticDataset, count: int, hot_parents: int = 20, seed: int = 19
+) -> list[tuple[Any, ...]]:
+    """Child rows concentrated on a few parents (transactional pattern).
+
+    Batches inside one transaction typically load many children of few
+    parents (order lines of today's orders); this is the workload where
+    the §9 shared-probe batching pays off, because most rows repeat a
+    foreign-key projection already verified.
+    """
+    rng = random.Random(seed)
+    config = dataset.config
+    pool = dataset.parent_keys[:]
+    rng.shuffle(pool)
+    pool = pool[:max(1, hot_parents)]
+    states = list(
+        iter_null_states(config.n_columns, include_total=False, include_all_null=True)
+    )
+    rows = []
+    for __ in range(count):
+        key = pool[rng.randrange(len(pool))]
+        state = _choose_state(rng, config, states)
+        rows.append(tuple(apply_state(key, state)) + (rng.randrange(1_000_000),))
+    return rows
+
+
+def delete_stream(
+    dataset: SyntheticDataset, count: int, seed: int = 17,
+    from_unique: bool | None = None,
+) -> list[tuple[int, ...]]:
+    """Parent keys to delete (without replacement).
+
+    ``from_unique`` restricts the victims to unique / non-unique parents
+    for the Tables 6–8 experiments; None mixes freely.
+    """
+    if from_unique is True:
+        pool = list(dataset.unique_parent_keys)
+    elif from_unique is False:
+        pool = list(dataset.nonunique_parent_keys)
+    else:
+        pool = list(dataset.parent_keys)
+    if count > len(pool):
+        raise SchemaError(
+            f"asked for {count} delete victims, only {len(pool)} available"
+        )
+    rng = random.Random(seed)
+    rng.shuffle(pool)
+    return pool[:count]

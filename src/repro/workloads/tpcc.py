@@ -1,0 +1,125 @@
+"""A scaled TPC-C generator for the paper's Table 9 / Table 10 tests.
+
+The paper tests two three-column foreign keys from TPC-C:
+
+    ORDERS[o_w_id, o_d_id, o_c_id]      ⊆ CUSTOMER[c_w_id, c_d_id, c_id]
+    ORDERLINE[ol_w_id, ol_d_id, ol_o_id] ⊆ ORDERS[o_w_id, o_d_id, o_id]
+
+This generator builds the three tables with TPC-C's hierarchy —
+warehouses x districts x customers, one initial order per customer, ~10
+order lines per order — at a configurable scale (TPC-C proper uses 10
+districts/warehouse and 3,000 customers/district; the defaults shrink
+both so a laptop-scale pure-Python run finishes in seconds).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..constraints.foreign_key import ForeignKey, MatchSemantics
+from ..constraints.keys import CandidateKey, PrimaryKey
+from ..storage.database import Database
+from ..storage.schema import Column, DataType
+
+
+@dataclass(frozen=True)
+class TpccConfig:
+    """Scale parameters; defaults give ~2k customers / ~20k order lines."""
+
+    warehouses: int = 2
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 100
+    orders_per_customer: int = 1
+    lines_per_order: int = 10
+    seed: int = 202
+
+
+@dataclass
+class TpccDataset:
+    db: Database
+    config: TpccConfig
+    fk_orders_customer: ForeignKey
+    fk_orderline_orders: ForeignKey
+    customer_keys: list[tuple[int, int, int]]
+    order_keys: list[tuple[int, int, int]]
+
+
+def generate(config: TpccConfig = TpccConfig()) -> TpccDataset:
+    """Build CUSTOMER, ORDERS and ORDERLINE, loaded and FK-consistent."""
+    rng = random.Random(config.seed)
+    db = Database("tpcc")
+
+    db.create_table("customer", [
+        Column("c_w_id", DataType.INTEGER, nullable=False),
+        Column("c_d_id", DataType.INTEGER, nullable=False),
+        Column("c_id", DataType.INTEGER, nullable=False),
+        Column("c_balance", DataType.FLOAT, nullable=False),
+    ])
+    # TPC-C proper declares (o_w_id, o_d_id, o_id) as the NOT NULL primary
+    # key of ORDERS.  The paper's MAR injection spreads null markers evenly
+    # over the *foreign-key* columns, which include o_w_id and o_d_id, so —
+    # like the paper's test copies — the warehouse/district columns are left
+    # nullable and the key is declared as a candidate key.  ("Permitting
+    # occurrences of null in referenced candidate keys only affects our
+    # results marginally", §9.)
+    db.create_table("orders", [
+        Column("o_w_id", DataType.INTEGER),
+        Column("o_d_id", DataType.INTEGER),
+        Column("o_id", DataType.INTEGER, nullable=False),
+        Column("o_c_id", DataType.INTEGER),
+        Column("o_carrier_id", DataType.INTEGER),
+    ])
+    db.create_table("orderline", [
+        Column("ol_w_id", DataType.INTEGER),
+        Column("ol_d_id", DataType.INTEGER),
+        Column("ol_o_id", DataType.INTEGER),
+        Column("ol_number", DataType.INTEGER, nullable=False),
+        Column("ol_i_id", DataType.INTEGER, nullable=False),
+        Column("ol_quantity", DataType.INTEGER, nullable=False),
+    ])
+
+    customer = db.table("customer")
+    orders = db.table("orders")
+    orderline = db.table("orderline")
+    customer_keys: list[tuple[int, int, int]] = []
+    order_keys: list[tuple[int, int, int]] = []
+
+    next_order_id: dict[tuple[int, int], int] = {}
+    for w in range(1, config.warehouses + 1):
+        for d in range(1, config.districts_per_warehouse + 1):
+            next_order_id[(w, d)] = 1
+            for c in range(1, config.customers_per_district + 1):
+                customer_keys.append((w, d, c))
+                customer.insert_row((w, d, c, round(rng.uniform(-100, 5000), 2)))
+
+    for (w, d, c) in customer_keys:
+        for __ in range(config.orders_per_customer):
+            o_id = next_order_id[(w, d)]
+            next_order_id[(w, d)] = o_id + 1
+            order_keys.append((w, d, o_id))
+            orders.insert_row((w, d, o_id, c, rng.randrange(1, 11)))
+            for line in range(1, config.lines_per_order + 1):
+                orderline.insert_row((
+                    w, d, o_id, line,
+                    rng.randrange(1, 100_000),
+                    rng.randrange(1, 11),
+                ))
+
+    fk_oc = ForeignKey(
+        "fk_orders_customer",
+        "orders", ("o_w_id", "o_d_id", "o_c_id"),
+        "customer", ("c_w_id", "c_d_id", "c_id"),
+        match=MatchSemantics.PARTIAL,
+    )
+    fk_olo = ForeignKey(
+        "fk_orderline_orders",
+        "orderline", ("ol_w_id", "ol_d_id", "ol_o_id"),
+        "orders", ("o_w_id", "o_d_id", "o_id"),
+        match=MatchSemantics.PARTIAL,
+    )
+    db.add_candidate_key(PrimaryKey("customer", ("c_w_id", "c_d_id", "c_id")))
+    db.add_candidate_key(CandidateKey("orders", ("o_w_id", "o_d_id", "o_id")))
+    fk_oc.validate_against(db)
+    fk_olo.validate_against(db)
+    return TpccDataset(db, config, fk_oc, fk_olo, customer_keys, order_keys)

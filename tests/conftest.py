@@ -1,0 +1,81 @@
+"""Shared fixtures: the paper's running example and small synthetic DBs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    DataType,
+    EnforcedForeignKey,
+    ForeignKey,
+    IndexStructure,
+    MatchSemantics,
+    NULL,
+)
+
+#: The TOUR table of Example 1 (tour_id, site_code, site_name).
+TOUR_ROWS = [
+    ("GCG", "OR", "O'Reilly's"),
+    ("BRT", "OR", "O'Reilly's"),
+    ("BRT", "MV", "Movie World"),
+    ("RF", "BB", "Binna Burra"),
+    ("RF", "OR", "O'Reilly's"),
+]
+
+#: The BOOKING rows of Example 1 that satisfy partial semantics
+#: (the paper's (BRF, null) and (null, BR) rows violate it).
+BOOKING_ROWS_VALID = [
+    (1001, "BRT", "OR", "Nov 21"),
+    (1008, NULL, "BB", "Sep 5"),
+    (1011, "RF", NULL, "Oct 5"),
+]
+
+
+def make_tourism_db() -> tuple[Database, ForeignKey]:
+    """Example 1's schema and TOUR data; no enforcement installed yet."""
+    db = Database("tourism")
+    db.create_table("tour", [
+        Column("tour_id", DataType.TEXT, nullable=False),
+        Column("site_code", DataType.TEXT, nullable=False),
+        Column("site_name", DataType.TEXT),
+    ])
+    db.create_table("booking", [
+        Column("visitor_id", DataType.INTEGER, nullable=False),
+        Column("tour_id", DataType.TEXT),
+        Column("site_code", DataType.TEXT),
+        Column("day", DataType.TEXT),
+    ])
+    for row in TOUR_ROWS:
+        db.table("tour").insert_row(row)
+    fk = ForeignKey(
+        "fk_booking_tour",
+        "booking", ("tour_id", "site_code"),
+        "tour", ("tour_id", "site_code"),
+        match=MatchSemantics.PARTIAL,
+    )
+    fk.validate_against(db)
+    return db, fk
+
+
+@pytest.fixture
+def tourism():
+    """(db, fk) for Example 1, without enforcement."""
+    return make_tourism_db()
+
+
+@pytest.fixture
+def enforced_tourism():
+    """(db, fk, efk) for Example 1 with Bounded enforcement and the valid
+    BOOKING rows loaded."""
+    db, fk = make_tourism_db()
+    efk = EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+    for row in BOOKING_ROWS_VALID:
+        db.insert("booking", row)
+    return db, fk, efk
+
+
+@pytest.fixture
+def empty_db():
+    return Database("test")

@@ -1,0 +1,130 @@
+"""Unit tests for batched enforcement (§9 shared execution)."""
+
+import pytest
+
+from repro import (
+    EnforcedForeignKey,
+    IndexStructure,
+    ReferentialIntegrityViolation,
+    check_database,
+)
+from repro.core.batch import batch_delete_parents, batch_insert_children
+from repro.nulls import NULL
+from repro.query import dml
+from repro.query.predicate import equalities
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    delete_stream,
+    insert_stream,
+)
+from repro.workloads.synthetic import generate as generate_synthetic
+
+
+def loaded(n=3, rows=300):
+    ds = generate_synthetic(SyntheticConfig(n_columns=n, parent_rows=rows))
+    EnforcedForeignKey.create(ds.db, ds.fk, IndexStructure.BOUNDED)
+    return ds
+
+
+class TestBatchInsert:
+    def test_inserts_all_rows(self):
+        ds = loaded()
+        rows = insert_stream(ds, 50)
+        before = ds.child_table.row_count
+        rids = batch_insert_children(ds.db, ds.fk, rows)
+        assert len(rids) == 50
+        assert ds.child_table.row_count == before + 50
+        assert check_database(ds.db) == []
+
+    def test_violating_row_rejects_whole_batch(self):
+        ds = loaded()
+        rows = insert_stream(ds, 10)
+        bad = (10**9, NULL, NULL, 0)
+        before = ds.child_table.row_count
+        with pytest.raises(ReferentialIntegrityViolation):
+            batch_insert_children(ds.db, ds.fk, rows + [bad])
+        assert ds.child_table.row_count == before  # atomic
+
+    def test_shared_probes_fewer_state_checks(self):
+        """The point of batching: one probe per distinct FK projection."""
+        ds_batch = loaded()
+        ds_loop = loaded()
+        rows = insert_stream(ds_batch, 100)
+
+        ds_batch.db.tracker.reset()
+        batch_insert_children(ds_batch.db, ds_batch.fk, rows)
+        batched = ds_batch.db.tracker["state_checks"]
+
+        ds_loop.db.tracker.reset()
+        for row in insert_stream(ds_loop, 100):
+            dml.insert(ds_loop.db, "C", row)
+        looped = ds_loop.db.tracker["state_checks"]
+
+        assert batched < looped
+
+    def test_matches_per_row_inserts(self):
+        ds_a = loaded()
+        ds_b = loaded()
+        rows = insert_stream(ds_a, 60)
+        batch_insert_children(ds_a.db, ds_a.fk, rows)
+        for row in insert_stream(ds_b, 60):
+            dml.insert(ds_b.db, "C", row)
+        assert sorted(ds_a.child_table.rows(), key=repr) == sorted(
+            ds_b.child_table.rows(), key=repr
+        )
+
+    def test_inside_existing_transaction(self):
+        ds = loaded()
+        rows = insert_stream(ds, 10)
+        with pytest.raises(RuntimeError):
+            with ds.db.begin():
+                batch_insert_children(ds.db, ds.fk, rows)
+                raise RuntimeError
+        assert check_database(ds.db) == []
+
+
+class TestBatchDelete:
+    def test_deletes_all_parents(self):
+        ds = loaded()
+        keys = delete_stream(ds, 20)
+        deleted = batch_delete_parents(ds.db, ds.fk, keys)
+        assert deleted == 20
+        assert check_database(ds.db) == []
+
+    def test_matches_per_row_deletes(self):
+        ds_a = loaded()
+        ds_b = loaded()
+        keys = delete_stream(ds_a, 25)
+        batch_delete_parents(ds_a.db, ds_a.fk, keys)
+        for key in delete_stream(ds_b, 25):
+            dml.delete_where(ds_b.db, "P", equalities(ds_b.fk.key_columns, key))
+        assert sorted(ds_a.parent_table.rows()) == sorted(ds_b.parent_table.rows())
+        assert sorted(ds_a.child_table.rows(), key=repr) == sorted(
+            ds_b.child_table.rows(), key=repr
+        )
+
+    def test_shared_state_loop_fewer_checks(self):
+        ds_batch = loaded(rows=500)
+        ds_loop = loaded(rows=500)
+        keys = delete_stream(ds_batch, 40)
+
+        ds_batch.db.tracker.reset()
+        batch_delete_parents(ds_batch.db, ds_batch.fk, keys)
+        batched = ds_batch.db.tracker["state_checks"]
+
+        ds_loop.db.tracker.reset()
+        for key in delete_stream(ds_loop, 40):
+            dml.delete_where(ds_loop.db, "P", equalities(ds_loop.fk.key_columns, key))
+        looped = ds_loop.db.tracker["state_checks"]
+
+        assert batched <= looped
+
+    def test_rollback_on_error_inside_batch(self):
+        ds = loaded()
+        keys = delete_stream(ds, 5)
+        p_before = sorted(ds.parent_table.rows())
+        with pytest.raises(RuntimeError):
+            with ds.db.begin():
+                batch_delete_parents(ds.db, ds.fk, keys)
+                raise RuntimeError
+        assert sorted(ds.parent_table.rows()) == p_before

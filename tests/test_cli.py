@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "repl" in capsys.readouterr().out
+
+    def test_help_flag(self, capsys):
+        assert main(["--help"]) == 0
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 1
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "veto" in out
+        assert "violations: 0" in out
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table1_insertions" in out
+        assert "prefix_compound_ablation" in out
+
+    def test_experiment_table9(self, capsys):
+        assert main(["experiment", "table9"]) == 0
+        assert "TPC-H" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "table99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err

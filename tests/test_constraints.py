@@ -1,0 +1,212 @@
+"""Unit tests for keys, foreign keys, actions and the bulk checker."""
+
+import pytest
+
+from repro import (
+    CandidateKey,
+    Column,
+    Database,
+    DataType,
+    ForeignKey,
+    MatchSemantics,
+    PrimaryKey,
+    ReferentialAction,
+)
+from repro.constraints import (
+    check_candidate_key,
+    check_database,
+    check_foreign_key,
+    satisfies_partial_semantics,
+)
+from repro.errors import KeyViolation, SchemaError
+from repro.nulls import NULL
+from repro.query import dml
+
+
+class TestReferentialAction:
+    def test_rejects(self):
+        assert ReferentialAction.RESTRICT.rejects
+        assert ReferentialAction.NO_ACTION.rejects
+        assert not ReferentialAction.SET_NULL.rejects
+
+    def test_sql(self):
+        assert ReferentialAction.SET_NULL.sql() == "SET NULL"
+
+
+class TestCandidateKey:
+    def make_db(self):
+        db = Database()
+        db.create_table("t", [Column("a"), Column("b")])
+        return db
+
+    def test_attach_validates_columns(self):
+        db = self.make_db()
+        key = CandidateKey("t", ("a", "zzz"))
+        with pytest.raises(SchemaError):
+            db.add_candidate_key(key)
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            CandidateKey("t", ("a", "a"))
+
+    def test_uniqueness_enforced(self):
+        db = self.make_db()
+        db.add_candidate_key(CandidateKey("t", ("a",)))
+        dml.insert(db, "t", (1, 1))
+        with pytest.raises(KeyViolation):
+            dml.insert(db, "t", (1, 2))
+
+    def test_null_keys_do_not_collide(self):
+        db = self.make_db()
+        db.add_candidate_key(CandidateKey("t", ("a",)))
+        dml.insert(db, "t", (NULL, 1))
+        dml.insert(db, "t", (NULL, 2))  # SQL semantics
+
+    def test_primary_key_rejects_null(self):
+        db = Database()
+        db.create_table("t", [Column("a", nullable=False), Column("b")])
+        db.add_candidate_key(PrimaryKey("t", ("a",)))
+        dml.insert(db, "t", (1, NULL))
+
+    def test_key_values_projection(self):
+        db = self.make_db()
+        key = CandidateKey("t", ("b", "a"))
+        db.add_candidate_key(key)
+        assert key.key_values((1, 2)) == (2, 1)
+
+    def test_describe(self):
+        db = self.make_db()
+        key = CandidateKey("t", ("a",))
+        db.add_candidate_key(key)
+        assert "UNIQUE" in key.describe()
+
+
+class TestForeignKeyObject:
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("fk", "c", ("f1",), "p", ("k1", "k2"))
+
+    def test_empty_columns(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("fk", "c", (), "p", ())
+
+    def test_repeated_columns(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("fk", "c", ("f", "f"), "p", ("k1", "k2"))
+
+    def test_projections(self):
+        db = Database()
+        db.create_table("p", [Column("x"), Column("k1"), Column("k2")])
+        db.create_table("c", [Column("f2"), Column("f1")])
+        fk = ForeignKey("fk", "c", ("f1", "f2"), "p", ("k1", "k2"))
+        db.add_foreign_key(fk)
+        assert fk.child_values(("b", "a")) == ("a", "b")
+        assert fk.parent_values(("x", 1, 2)) == (1, 2)
+
+    def test_parent_match_predicate_skips_nulls(self):
+        db = Database()
+        db.create_table("p", [Column("k1"), Column("k2")])
+        db.create_table("c", [Column("f1"), Column("f2")])
+        fk = ForeignKey("fk", "c", ("f1", "f2"), "p", ("k1", "k2"))
+        db.add_foreign_key(fk)
+        pred = fk.parent_match_predicate((NULL, 5))
+        assert pred.sql() == "k2 = 5"
+
+    def test_child_state_predicate(self):
+        db = Database()
+        db.create_table("p", [Column("k1"), Column("k2"), Column("k3")])
+        db.create_table("c", [Column("f1"), Column("f2"), Column("f3")])
+        fk = ForeignKey("fk", "c", ("f1", "f2", "f3"), "p", ("k1", "k2", "k3"))
+        db.add_foreign_key(fk)
+        pred = fk.child_state_predicate((1, 2, 3), (1,))
+        assert "f1 = 1" in pred.sql()
+        assert "f2 IS NULL" in pred.sql()
+        assert "f3 = 3" in pred.sql()
+
+    def test_shape_rules(self):
+        fk = ForeignKey("fk", "c", ("f1", "f2"), "p", ("k1", "k2"),
+                        match=MatchSemantics.FULL)
+        assert fk.row_violates_shape((1, NULL))
+        assert not fk.row_violates_shape((NULL, NULL))
+        assert not fk.row_violates_shape((1, 2))
+
+    def test_describe(self):
+        fk = ForeignKey("fk", "c", ("f1",), "p", ("k1",),
+                        match=MatchSemantics.PARTIAL)
+        assert "MATCH PARTIAL" in fk.describe()
+
+
+def loaded_db(match=MatchSemantics.PARTIAL):
+    db = Database()
+    db.create_table("p", [Column("k1", nullable=False), Column("k2", nullable=False)])
+    db.create_table("c", [Column("f1"), Column("f2")])
+    db.add_candidate_key(CandidateKey("p", ("k1", "k2")))
+    fk = ForeignKey("fk", "c", ("f1", "f2"), "p", ("k1", "k2"), match=match)
+    db.add_foreign_key(fk)
+    db.table("p").insert_row((1, 1))
+    db.table("p").insert_row((1, 2))
+    return db, fk
+
+
+class TestChecker:
+    def test_clean_database(self):
+        db, __ = loaded_db()
+        db.table("c").insert_row((1, 1))
+        db.table("c").insert_row((NULL, 2))
+        assert check_database(db) == []
+        assert satisfies_partial_semantics(db, db.foreign_keys[0])
+
+    def test_partial_violation_detected(self):
+        db, fk = loaded_db()
+        db.table("c").insert_row((9, NULL))
+        violations = check_foreign_key(db, fk)
+        assert len(violations) == 1
+        assert "subsuming" in violations[0].reason
+        assert not satisfies_partial_semantics(db, fk)
+
+    def test_simple_ignores_partial_values(self):
+        db, fk = loaded_db(match=MatchSemantics.SIMPLE)
+        db.table("c").insert_row((9, NULL))
+        assert check_foreign_key(db, fk) == []
+
+    def test_simple_detects_total_orphan(self):
+        db, fk = loaded_db(match=MatchSemantics.SIMPLE)
+        db.table("c").insert_row((9, 9))
+        violations = check_foreign_key(db, fk)
+        assert len(violations) == 1
+        assert "matching" in violations[0].reason
+
+    def test_full_detects_shape(self):
+        db, fk = loaded_db(match=MatchSemantics.FULL)
+        db.table("c").insert_row((1, NULL))
+        violations = check_foreign_key(db, fk)
+        assert "MATCH FULL" in violations[0].reason
+
+    def test_key_duplicates_detected(self):
+        db, __ = loaded_db()
+        db.table("p").insert_row((1, 1))  # physical duplicate
+        key = db.candidate_keys["p"][0]
+        violations = check_candidate_key(db, key)
+        assert len(violations) == 1
+        assert "duplicate" in violations[0].reason
+
+    def test_pk_null_detected(self):
+        db = Database()
+        db.create_table("t", [Column("a")])
+        key = PrimaryKey("t", ("a",))
+        key._positions = (0,)  # bypass attach's NOT NULL check on purpose
+        db.candidate_keys["t"] = [key]
+        db.table("t").insert_row((NULL,))
+        violations = check_candidate_key(db, key)
+        assert "NULL in primary key" in violations[0].reason
+
+    def test_violation_str(self):
+        db, fk = loaded_db()
+        db.table("c").insert_row((9, NULL))
+        v = check_foreign_key(db, fk)[0]
+        assert "fk" in str(v) and "rid=" in str(v)
+
+    def test_all_null_child_never_violates(self):
+        db, fk = loaded_db()
+        db.table("c").insert_row((NULL, NULL))
+        assert check_foreign_key(db, fk) == []

@@ -1,0 +1,113 @@
+"""Unit tests for the Database catalog."""
+
+import pytest
+
+from repro import (
+    CandidateKey,
+    Column,
+    Database,
+    DataType,
+    ForeignKey,
+    IndexDefinition,
+    MatchSemantics,
+    PrimaryKey,
+)
+from repro.errors import CatalogError, SchemaError
+
+
+def two_tables() -> Database:
+    db = Database()
+    db.create_table("p", [Column("k1"), Column("k2")])
+    db.create_table("c", [Column("f1"), Column("f2")])
+    return db
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        db = two_tables()
+        assert "p" in db and "q" not in db
+        assert db.table("p").name == "p"
+        with pytest.raises(CatalogError):
+            db.table("q")
+
+    def test_duplicate_table_rejected(self):
+        db = two_tables()
+        with pytest.raises(CatalogError):
+            db.create_table("p", [Column("x")])
+
+    def test_drop_table(self):
+        db = two_tables()
+        db.drop_table("c")
+        assert "c" not in db
+        with pytest.raises(CatalogError):
+            db.drop_table("c")
+
+    def test_drop_table_with_fk_rejected(self):
+        db = two_tables()
+        fk = ForeignKey("fk", "c", ("f1", "f2"), "p", ("k1", "k2"))
+        db.add_foreign_key(fk)
+        with pytest.raises(CatalogError):
+            db.drop_table("p")
+        with pytest.raises(CatalogError):
+            db.drop_table("c")
+
+    def test_create_index_via_db(self):
+        db = two_tables()
+        db.create_index("p", IndexDefinition("by_k1", ("k1",)))
+        assert "by_k1" in db.table("p").indexes
+        db.drop_index("p", "by_k1")
+        assert "by_k1" not in db.table("p").indexes
+
+
+class TestConstraintRegistration:
+    def test_add_foreign_key_validates(self):
+        db = two_tables()
+        bad = ForeignKey("fk", "c", ("f1", "zzz"), "p", ("k1", "k2"))
+        with pytest.raises(SchemaError):
+            db.add_foreign_key(bad)
+
+    def test_type_mismatch_rejected(self):
+        db = Database()
+        db.create_table("p", [Column("k", DataType.TEXT)])
+        db.create_table("c", [Column("f", DataType.INTEGER)])
+        with pytest.raises(SchemaError):
+            db.add_foreign_key(ForeignKey("fk", "c", ("f",), "p", ("k",)))
+
+    def test_fk_queries(self):
+        db = two_tables()
+        fk = ForeignKey("fk", "c", ("f1", "f2"), "p", ("k1", "k2"))
+        db.add_foreign_key(fk)
+        assert db.foreign_keys_on_child("c") == [fk]
+        assert db.foreign_keys_on_parent("p") == [fk]
+        assert db.foreign_keys_on_child("p") == []
+
+    def test_drop_foreign_key(self):
+        db = two_tables()
+        db.add_foreign_key(ForeignKey("fk", "c", ("f1",), "p", ("k1",)))
+        db.drop_foreign_key("fk")
+        assert db.foreign_keys == []
+        with pytest.raises(CatalogError):
+            db.drop_foreign_key("fk")
+
+    def test_add_candidate_key(self):
+        db = two_tables()
+        db.add_candidate_key(CandidateKey("p", ("k1", "k2")))
+        assert len(db.candidate_keys["p"]) == 1
+
+    def test_primary_key_requires_not_null(self):
+        db = two_tables()  # columns are nullable by default
+        with pytest.raises(SchemaError):
+            db.add_candidate_key(PrimaryKey("p", ("k1",)))
+
+    def test_describe_covers_everything(self):
+        db = two_tables()
+        db.add_candidate_key(CandidateKey("p", ("k1", "k2")))
+        db.add_foreign_key(
+            ForeignKey("fk", "c", ("f1", "f2"), "p", ("k1", "k2"),
+                       match=MatchSemantics.PARTIAL)
+        )
+        db.create_index("c", IndexDefinition("by_f1", ("f1",)))
+        text = db.describe()
+        assert "TABLE p" in text and "TABLE c" in text
+        assert "FOREIGN KEY" in text and "MATCH PARTIAL" in text
+        assert "by_f1" in text

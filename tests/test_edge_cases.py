@@ -1,0 +1,213 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import pytest
+
+from repro import (
+    CandidateKey,
+    Column,
+    Database,
+    DataType,
+    EnforcedForeignKey,
+    ForeignKey,
+    IndexStructure,
+    MatchSemantics,
+    ReferentialAction,
+    check_database,
+)
+from repro.errors import (
+    CatalogError,
+    IntegrityError,
+    KeyViolation,
+    QueryError,
+    ReferentialIntegrityViolation,
+    ReproError,
+    RestrictViolation,
+    SchemaError,
+    StorageError,
+    TransactionError,
+    TriggerAbort,
+)
+from repro.nulls import NULL
+from repro.query import dml
+from repro.query.predicate import Eq, IsNull, equalities
+from repro.triggers.framework import Trigger, TriggerEvent
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (SchemaError, CatalogError, StorageError, QueryError,
+                    TransactionError, IntegrityError, KeyViolation,
+                    ReferentialIntegrityViolation, RestrictViolation,
+                    TriggerAbort):
+            assert issubclass(exc, ReproError)
+
+    def test_integrity_subtypes(self):
+        assert issubclass(KeyViolation, IntegrityError)
+        assert issubclass(ReferentialIntegrityViolation, IntegrityError)
+        assert issubclass(RestrictViolation, IntegrityError)
+
+    def test_ri_violation_carries_sqlstate(self):
+        """The paper's trigger signals SQLSTATE '02000'."""
+        assert ReferentialIntegrityViolation.sqlstate == "02000"
+
+
+class TestSelfReferencingForeignKey:
+    """An org-chart style table referencing itself under MATCH PARTIAL."""
+
+    def make(self):
+        db = Database()
+        db.create_table("emp", [
+            Column("id", nullable=False),
+            Column("boss_id"),
+        ])
+        db.add_candidate_key(CandidateKey("emp", ("id",)))
+        fk = ForeignKey("fk_boss", "emp", ("boss_id",), "emp", ("id",),
+                        match=MatchSemantics.PARTIAL,
+                        on_delete=ReferentialAction.SET_NULL)
+        EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+        return db, fk
+
+    def test_insert_and_enforce(self):
+        db, __ = self.make()
+        dml.insert(db, "emp", (1, NULL))
+        dml.insert(db, "emp", (2, 1))
+        with pytest.raises(ReferentialIntegrityViolation):
+            dml.insert(db, "emp", (3, 99))
+        assert check_database(db) == []
+
+    def test_delete_boss_sets_null(self):
+        db, __ = self.make()
+        dml.insert(db, "emp", (1, NULL))
+        dml.insert(db, "emp", (2, 1))
+        dml.delete_where(db, "emp", Eq("id", 1))
+        assert db.select("emp") == [(2, NULL)]
+        assert check_database(db) == []
+
+
+class TestSingleColumnForeignKey:
+    """n = 1: simple and partial semantics coincide (§7.1)."""
+
+    def test_semantics_coincide(self):
+        results = []
+        for match in (MatchSemantics.SIMPLE, MatchSemantics.PARTIAL):
+            db = Database()
+            db.create_table("p", [Column("k", nullable=False)])
+            db.create_table("c", [Column("f")])
+            fk = ForeignKey("fk", "c", ("f",), "p", ("k",), match=match)
+            EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+            dml.insert(db, "p", (1,))
+            dml.insert(db, "c", (1,))
+            dml.insert(db, "c", (NULL,))
+            rejected = False
+            try:
+                dml.insert(db, "c", (2,))
+            except ReferentialIntegrityViolation:
+                rejected = True
+            dml.delete_where(db, "p", Eq("k", 1))
+            results.append((rejected, sorted(db.select("c"), key=repr)))
+        assert results[0] == results[1]
+
+
+class TestTriggerAborts:
+    def test_before_trigger_abort_blocks_write(self):
+        db = Database()
+        db.create_table("t", [Column("a")])
+
+        def veto(*args):
+            raise TriggerAbort("no writes today")
+
+        db.triggers.add(Trigger("veto", "t", TriggerEvent.BEFORE_INSERT, veto))
+        with pytest.raises(TriggerAbort):
+            dml.insert(db, "t", (1,))
+        assert db.table("t").row_count == 0
+
+
+class TestMultipleForeignKeysOneChild:
+    def test_both_enforced(self):
+        db = Database()
+        db.create_table("p1", [Column("k", nullable=False)])
+        db.create_table("p2", [Column("k", nullable=False)])
+        db.create_table("c", [Column("f1"), Column("f2")])
+        fk1 = ForeignKey("fk1", "c", ("f1",), "p1", ("k",),
+                         match=MatchSemantics.PARTIAL)
+        fk2 = ForeignKey("fk2", "c", ("f2",), "p2", ("k",),
+                         match=MatchSemantics.PARTIAL)
+        EnforcedForeignKey.create(db, fk1, IndexStructure.BOUNDED)
+        EnforcedForeignKey.create(db, fk2, IndexStructure.BOUNDED)
+        dml.insert(db, "p1", (1,))
+        dml.insert(db, "p2", (9,))
+        dml.insert(db, "c", (1, 9))
+        with pytest.raises(ReferentialIntegrityViolation):
+            dml.insert(db, "c", (1, 8))
+        with pytest.raises(ReferentialIntegrityViolation):
+            dml.insert(db, "c", (2, 9))
+        # deleting p2's row nulls only f2
+        dml.delete_where(db, "p2", Eq("k", 9))
+        assert db.select("c") == [(1, NULL)]
+        assert check_database(db) == []
+
+
+class TestEmptyTables:
+    def test_enforcement_on_empty_parent(self):
+        db = Database()
+        db.create_table("p", [Column("k", nullable=False)])
+        db.create_table("c", [Column("f")])
+        fk = ForeignKey("fk", "c", ("f",), "p", ("k",),
+                        match=MatchSemantics.PARTIAL)
+        EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+        with pytest.raises(ReferentialIntegrityViolation):
+            dml.insert(db, "c", (1,))
+        dml.insert(db, "c", (NULL,))  # fully null is always fine
+
+    def test_delete_from_empty(self):
+        db = Database()
+        db.create_table("t", [Column("a")])
+        assert dml.delete_where(db, "t", Eq("a", 1)) == 0
+
+    def test_select_empty(self):
+        db = Database()
+        db.create_table("t", [Column("a")])
+        assert db.select("t") == []
+        assert not db.exists("t", IsNull("a"))
+
+
+class TestNullsInParentKeys:
+    """§9: 'Permitting occurrences of null in referenced candidate keys
+    only affects our results marginally.'  A NULL parent component never
+    matches a total child component."""
+
+    def test_null_parent_component_matches_nothing_total(self):
+        db = Database()
+        db.create_table("p", [Column("k1"), Column("k2")])
+        db.create_table("c", [Column("f1"), Column("f2")])
+        fk = ForeignKey("fk", "c", ("f1", "f2"), "p", ("k1", "k2"),
+                        match=MatchSemantics.PARTIAL)
+        EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+        dml.insert(db, "p", (1, NULL))
+        with pytest.raises(ReferentialIntegrityViolation):
+            dml.insert(db, "c", (1, 2))
+        # a child that is null exactly where the parent is null matches
+        # on the remaining total component
+        dml.insert(db, "c", (1, NULL))
+        assert check_database(db) == []
+
+
+class TestStructureSwitchUnderLoad:
+    def test_repeated_switching_preserves_consistency(self):
+        db = Database()
+        db.create_table("p", [Column("k1", nullable=False),
+                              Column("k2", nullable=False)])
+        db.create_table("c", [Column("f1"), Column("f2")])
+        fk = ForeignKey("fk", "c", ("f1", "f2"), "p", ("k1", "k2"),
+                        match=MatchSemantics.PARTIAL)
+        efk = EnforcedForeignKey.create(db, fk, IndexStructure.NO_INDEX)
+        for i in range(20):
+            dml.insert(db, "p", (i, i))
+        order = [IndexStructure.FULL, IndexStructure.HYBRID,
+                 IndexStructure.POWERSET, IndexStructure.BOUNDED,
+                 IndexStructure.PREFIX_COMPOUND, IndexStructure.NO_INDEX]
+        for i, structure in enumerate(order):
+            efk.switch_structure(structure)
+            dml.insert(db, "c", (i, NULL))
+            dml.delete_where(db, "p", equalities(("k1", "k2"), (i + 10, i + 10)))
+            assert check_database(db) == []

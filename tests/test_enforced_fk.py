@@ -1,0 +1,114 @@
+"""Unit tests for EnforcedForeignKey — the public enforcement facade."""
+
+import pytest
+
+from repro import (
+    EnforcedForeignKey,
+    ForeignKey,
+    IndexStructure,
+    MatchSemantics,
+    ReferentialIntegrityViolation,
+    check_database,
+)
+from repro.constraints.foreign_key import EnforcementMode
+from repro.indexes.definition import IndexKind
+from repro.nulls import NULL
+from repro.query.predicate import Eq, And
+
+from .conftest import BOOKING_ROWS_VALID, make_tourism_db
+
+
+class TestCreate:
+    def test_create_registers_everything(self):
+        db, fk = make_tourism_db()
+        efk = EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+        assert fk in db.foreign_keys
+        assert fk.enforcement is EnforcementMode.TRIGGER
+        assert efk.n_indexes == 6  # 2n+2 for n=2
+        assert len(db.triggers) == 4
+
+    def test_create_simple_uses_native(self):
+        db, fk = make_tourism_db()
+        fk.match = MatchSemantics.SIMPLE
+        EnforcedForeignKey.create(db, fk, IndexStructure.FULL)
+        assert fk.enforcement is EnforcementMode.NATIVE
+        assert len(db.triggers) == 0
+
+    def test_enforcement_active(self):
+        db, fk = make_tourism_db()
+        EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+        with pytest.raises(ReferentialIntegrityViolation):
+            db.insert("booking", (1006, "BRF", NULL, "Sep 19"))
+
+    def test_describe(self):
+        db, fk = make_tourism_db()
+        efk = EnforcedForeignKey.create(db, fk, IndexStructure.HYBRID)
+        assert "Hybrid" in efk.describe()
+
+
+class TestDrop:
+    def test_drop_removes_everything(self):
+        db, fk = make_tourism_db()
+        efk = EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+        efk.drop()
+        assert db.foreign_keys == []
+        assert len(db.triggers) == 0
+        assert len(db.table("tour").indexes) == 0
+        # orphan inserts now pass silently
+        db.insert("booking", (1006, "BRF", NULL, "Sep 19"))
+
+    def test_drop_idempotent(self):
+        db, fk = make_tourism_db()
+        efk = EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+        efk.drop()
+        efk.drop()  # no error
+
+
+class TestSwitchStructure:
+    def test_switch_replaces_indexes(self):
+        db, fk = make_tourism_db()
+        efk = EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+        efk.switch_structure(IndexStructure.HYBRID)
+        assert efk.structure is IndexStructure.HYBRID
+        assert efk.n_indexes == 3  # n+1 for n=2
+        assert len(db.table("booking").indexes) == 1
+
+    def test_enforcement_survives_switch(self):
+        db, fk = make_tourism_db()
+        efk = EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+        for row in BOOKING_ROWS_VALID:
+            db.insert("booking", row)
+        efk.switch_structure(IndexStructure.NO_INDEX)
+        with pytest.raises(ReferentialIntegrityViolation):
+            db.insert("booking", (1006, "BRF", NULL, "Sep 19"))
+        assert check_database(db) == []
+
+    @pytest.mark.parametrize("structure", list(IndexStructure))
+    def test_same_semantics_under_every_structure(self, structure):
+        """The index structure must change cost, never outcomes."""
+        db, fk = make_tourism_db()
+        EnforcedForeignKey.create(db, fk, structure)
+        for row in BOOKING_ROWS_VALID:
+            db.insert("booking", row)
+        with pytest.raises(ReferentialIntegrityViolation):
+            db.insert("booking", (1012, NULL, "BR", "Nov 2"))
+        # delete (RF, OR): child (1011, RF, null) keeps alternative (RF, BB)
+        db.delete_where("tour", And(Eq("tour_id", "RF"), Eq("site_code", "OR")))
+        rows = db.select("booking", Eq("visitor_id", 1011))
+        assert rows == [(1011, "RF", NULL, "Oct 5")]
+        # delete (RF, BB): now the child loses its last parent -> SET NULL
+        db.delete_where("tour", And(Eq("tour_id", "RF"), Eq("site_code", "BB")))
+        rows = db.select("booking", Eq("visitor_id", 1011))
+        assert rows == [(1011, NULL, NULL, "Oct 5")]
+        assert check_database(db) == []
+
+    def test_hash_kind(self):
+        db, fk = make_tourism_db()
+        efk = EnforcedForeignKey.create(
+            db, fk, IndexStructure.BOUNDED, IndexKind.HASH
+        )
+        assert efk.index_kind is IndexKind.HASH
+        for row in BOOKING_ROWS_VALID:
+            db.insert("booking", row)
+        with pytest.raises(ReferentialIntegrityViolation):
+            db.insert("booking", (1006, "BRF", NULL, "Sep 19"))

@@ -1,0 +1,119 @@
+"""Unit tests for the executor and EXPLAIN."""
+
+from repro.indexes.definition import IndexDefinition
+from repro.nulls import NULL
+from repro.query import executor
+from repro.query.explain import explain, explain_path
+from repro.query.predicate import And, Eq, IsNull, Or
+from repro.storage.database import Database
+from repro.storage.schema import Column
+
+
+def make_db(with_index=True) -> Database:
+    db = Database()
+    t = db.create_table("t", [Column("a"), Column("b")])
+    for i in range(20):
+        t.insert_row((i % 4, i))
+    t.insert_row((NULL, 99))
+    if with_index:
+        t.create_index(IndexDefinition("by_a", ("a",)))
+    return db
+
+
+class TestSelect:
+    def test_select_all(self):
+        db = make_db()
+        assert len(db.select("t")) == 21
+
+    def test_select_with_predicate(self):
+        db = make_db()
+        rows = db.select("t", Eq("a", 1))
+        assert len(rows) == 5
+        assert all(r[0] == 1 for r in rows)
+
+    def test_select_projection(self):
+        db = make_db()
+        rows = db.select("t", Eq("a", 1), columns=("b",))
+        assert all(len(r) == 1 for r in rows)
+
+    def test_select_limit(self):
+        db = make_db()
+        assert len(db.select("t", Eq("a", 1), limit=2)) == 2
+
+    def test_select_is_null(self):
+        db = make_db()
+        rows = db.select("t", IsNull("a"))
+        assert rows == [(NULL, 99)]
+
+    def test_index_and_scan_agree(self):
+        pred = And(Eq("a", 2), Or(Eq("b", 2), Eq("b", 6)))
+        with_idx = make_db(True).select("t", pred)
+        without = make_db(False).select("t", pred)
+        assert sorted(with_idx) == sorted(without)
+
+
+class TestExists(object):
+    def test_exists_true_false(self):
+        db = make_db()
+        assert executor.exists(db, "t", Eq("a", 1))
+        assert not executor.exists(db, "t", Eq("a", 77))
+
+    def test_exists_stops_early_on_full_scan(self):
+        db = make_db(with_index=False)
+        db.tracker.reset()
+        assert executor.exists(db, "t", Eq("b", 0))
+        # row (0, 0) is the first inserted: the scan must stop right there.
+        assert db.tracker["rows_examined"] <= 2
+
+    def test_failing_full_scan_pays_for_every_row(self):
+        db = make_db(with_index=False)
+        db.tracker.reset()
+        assert not executor.exists(db, "t", Eq("b", -1))
+        assert db.tracker["rows_examined"] == 21
+        assert db.tracker["full_scans"] == 1
+
+    def test_index_probe_counts_fetches_not_scan(self):
+        db = make_db()
+        db.tracker.reset()
+        assert executor.exists(db, "t", Eq("a", 1))
+        assert db.tracker["full_scans"] == 0
+        assert db.tracker["rows_fetched"] >= 1
+
+
+class TestCount:
+    def test_count(self):
+        db = make_db()
+        assert executor.count(db, "t", Eq("a", 0)) == 5
+        assert executor.count(db, "t") == 21
+
+    def test_select_rids_match_rows(self):
+        db = make_db()
+        rids = executor.select_rids(db, "t", Eq("a", 3))
+        t = db.table("t")
+        assert all(t.get_row(rid)[0] == 3 for rid in rids)
+
+
+class TestExplain:
+    def test_explain_index(self):
+        db = make_db()
+        text = explain(db, "t", Eq("a", 1))
+        assert "REF t via by_a" in text
+        assert "WHERE a = 1" in text
+
+    def test_explain_full_scan(self):
+        db = make_db()
+        text = explain(db, "t", Eq("b", 5))
+        assert "FULL SCAN" in text
+
+    def test_explain_no_predicate(self):
+        db = make_db()
+        assert "TRUE" in explain(db, "t")
+
+    def test_explain_path_returns_access_path(self):
+        db = make_db()
+        path = explain_path(db, "t", Eq("a", 1))
+        assert path.index is not None
+
+    def test_db_explain_facade(self):
+        db = make_db()
+        assert "REF" in db.explain("t", Eq("a", 1))

@@ -1,0 +1,151 @@
+"""Unit tests for heap storage and the Table layer."""
+
+import pytest
+
+from repro.errors import KeyViolation, SchemaError, StorageError
+from repro.indexes.definition import IndexDefinition
+from repro.nulls import NULL
+from repro.storage.heap import HeapFile
+from repro.storage.schema import Column, DataType
+from repro.storage.table import Table
+
+
+class TestHeapFile:
+    def test_insert_get(self):
+        h = HeapFile()
+        rid = h.insert((1, 2))
+        assert h.get(rid) == (1, 2)
+        assert rid in h
+        assert len(h) == 1
+
+    def test_get_missing(self):
+        with pytest.raises(StorageError):
+            HeapFile().get(0)
+
+    def test_delete_and_rid_reuse(self):
+        h = HeapFile()
+        rid0 = h.insert(("a",))
+        h.insert(("b",))
+        h.delete(rid0)
+        rid2 = h.insert(("c",))
+        assert rid2 == rid0  # freelist reuse
+        assert len(h) == 2
+
+    def test_update_returns_old(self):
+        h = HeapFile()
+        rid = h.insert((1,))
+        assert h.update(rid, (2,)) == (1,)
+        assert h.get(rid) == (2,)
+
+    def test_restore_after_delete(self):
+        h = HeapFile()
+        rid = h.insert((1,))
+        h.delete(rid)
+        h.restore(rid, (1,))
+        assert h.get(rid) == (1,)
+
+    def test_restore_occupied_rid_rejected(self):
+        h = HeapFile()
+        rid = h.insert((1,))
+        with pytest.raises(StorageError):
+            h.restore(rid, (2,))
+
+    def test_restore_beyond_frontier(self):
+        h = HeapFile()
+        h.restore(5, ("x",))
+        assert h.get(5) == ("x",)
+        # new inserts never collide with the restored rid
+        rids = {h.insert((i,)) for i in range(10)}
+        assert 5 not in rids
+
+    def test_scan_sorted_by_rid(self):
+        h = HeapFile()
+        for i in range(5):
+            h.insert((i,))
+        assert [rid for rid, __ in h.scan()] == [0, 1, 2, 3, 4]
+
+    def test_scan_unordered_covers_all(self):
+        h = HeapFile()
+        for i in range(5):
+            h.insert((i,))
+        assert sorted(dict(h.scan_unordered())) == [0, 1, 2, 3, 4]
+
+
+def make_table() -> Table:
+    return Table("t", [
+        Column("a", DataType.INTEGER, nullable=False),
+        Column("b", DataType.INTEGER),
+    ])
+
+
+class TestTable:
+    def test_insert_row_validates(self):
+        t = make_table()
+        rid = t.insert_row((1, 2))
+        assert t.get_row(rid) == (1, 2)
+        with pytest.raises(SchemaError):
+            t.insert_row((NULL, 2))
+
+    def test_insert_row_mapping(self):
+        t = make_table()
+        rid = t.insert_row({"a": 1})
+        assert t.get_row(rid) == (1, NULL)
+
+    def test_statistics_maintained(self):
+        t = make_table()
+        rid = t.insert_row((1, 2))
+        t.insert_row((1, NULL))
+        assert t.statistics.columns[0].frequency(1) == 2
+        assert t.statistics.columns[1].null_count == 1
+        t.delete_rid(rid)
+        assert t.statistics.columns[0].frequency(1) == 1
+        assert t.statistics.row_count == 1
+
+    def test_update_rid(self):
+        t = make_table()
+        rid = t.insert_row((1, 2))
+        old, new = t.update_rid(rid, (3, 4))
+        assert old == (1, 2) and new == (3, 4)
+        assert t.statistics.columns[0].frequency(1) == 0
+        assert t.statistics.columns[0].frequency(3) == 1
+
+    def test_index_maintained_through_dml(self):
+        t = make_table()
+        t.create_index(IndexDefinition("by_a", ("a",)))
+        rid = t.insert_row((5, 1))
+        assert list(t.indexes.get("by_a").scan_equal((5,))) == [rid]
+        t.update_rid(rid, (6, 1))
+        assert list(t.indexes.get("by_a").scan_equal((6,))) == [rid]
+        t.delete_rid(rid)
+        assert len(t.indexes.get("by_a")) == 0
+
+    def test_create_index_builds_over_existing_rows(self):
+        t = make_table()
+        for i in range(10):
+            t.insert_row((i % 2, i))
+        index = t.create_index(IndexDefinition("by_a", ("a",)))
+        assert len(index) == 10
+        assert len(list(index.scan_equal((1,)))) == 5
+
+    def test_unique_index_rejects_and_leaves_heap_clean(self):
+        t = make_table()
+        t.create_index(IndexDefinition("uniq_a", ("a",), unique=True))
+        t.insert_row((1, 2))
+        with pytest.raises(KeyViolation):
+            t.insert_row((1, 3))
+        assert t.row_count == 1  # heap insert was rolled back
+
+    def test_restore_row(self):
+        t = make_table()
+        t.create_index(IndexDefinition("by_a", ("a",)))
+        rid = t.insert_row((1, 2))
+        row = t.delete_rid(rid)
+        t.restore_row(rid, row)
+        assert t.get_row(rid) == (1, 2)
+        assert list(t.indexes.get("by_a").scan_equal((1,))) == [rid]
+
+    def test_rows_and_repr(self):
+        t = make_table()
+        t.insert_row((1, 2))
+        assert t.rows() == [(1, 2)]
+        assert "1 rows" in repr(t)

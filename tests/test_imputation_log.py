@@ -1,0 +1,119 @@
+"""Unit tests for the imputation log and its reversal (§4.3 / §9)."""
+
+import pytest
+
+from repro import EnforcedForeignKey, IndexStructure, check_database
+from repro.core.imputation_log import (
+    ImputationLog,
+    ImputationReversalError,
+)
+from repro.core.intelligent_update import (
+    choose_first,
+    intelligent_delete_method1,
+    intelligent_insert,
+)
+from repro.nulls import NULL
+from repro.query import dml
+from repro.query.predicate import Eq
+
+from .conftest import make_tourism_db
+
+
+def loaded():
+    db, fk = make_tourism_db()
+    EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+    return db, fk
+
+
+class TestRecording:
+    def test_intelligent_insert_logs(self):
+        db, fk = loaded()
+        log = ImputationLog()
+        rid = intelligent_insert(db, fk, (1011, "RF", NULL, "Oct 5"),
+                                 chooser=lambda s: s[0], log=log)
+        assert len(log) == 1
+        entry = log.records[0]
+        assert entry.rid == rid
+        assert entry.old_values == (NULL,)
+        assert entry.new_values in (("BB",), ("OR",))
+        assert entry.reason == "intelligent insertion"
+
+    def test_unimputed_insert_not_logged(self):
+        db, fk = loaded()
+        log = ImputationLog()
+        intelligent_insert(db, fk, (1011, "RF", NULL, "Oct 5"),
+                           chooser=lambda s: None, log=log)
+        assert len(log) == 0
+
+    def test_intelligent_delete_logs(self):
+        db, fk = loaded()
+        db.insert("booking", (1011, "RF", NULL, "Oct 5"))
+        log = ImputationLog()
+        intelligent_delete_method1(db, fk, ("RF", "OR"),
+                                   chooser=choose_first, log=log)
+        assert len(log) == 1
+        assert "deletion of parent" in log.records[0].reason
+        assert log.records[0].donor_parent == ("RF", "BB")
+
+    def test_render(self):
+        db, fk = loaded()
+        log = ImputationLog()
+        intelligent_insert(db, fk, (1011, "RF", NULL, "Oct 5"),
+                           chooser=lambda s: s[0], log=log)
+        assert "#0 booking" in log.render()
+
+
+class TestReversal:
+    def make_logged(self):
+        db, fk = loaded()
+        log = ImputationLog()
+        rid = intelligent_insert(db, fk, (1011, "RF", NULL, "Oct 5"),
+                                 chooser=lambda s: s[0], log=log)
+        return db, fk, log, rid
+
+    def test_revert_restores_null(self):
+        db, fk, log, rid = self.make_logged()
+        log.revert(db, 0)
+        assert db.table("booking").get_row(rid) == (1011, "RF", NULL, "Oct 5")
+        assert check_database(db) == []
+        assert log.pending() == []
+
+    def test_double_revert_rejected(self):
+        db, __, log, __r = self.make_logged()
+        log.revert(db, 0)
+        with pytest.raises(ImputationReversalError):
+            log.revert(db, 0)
+
+    def test_revert_unknown_sequence(self):
+        db, __, log, __r = self.make_logged()
+        with pytest.raises(ImputationReversalError):
+            log.revert(db, 7)
+
+    def test_revert_refuses_after_row_changed(self):
+        db, __, log, rid = self.make_logged()
+        row = db.table("booking").get_row(rid)
+        changed = list(row)
+        changed[2] = "MV" if row[2] != "MV" else "OR"
+        # go through the tour parents so enforcement accepts the change
+        db.insert("tour", ("RF", "MV", "Movie World RF"))
+        dml.update_rid(db, "booking", rid, (1011, "RF", "MV", "Oct 5"), row)
+        with pytest.raises(ImputationReversalError):
+            log.revert(db, 0)
+
+    def test_revert_refuses_after_row_deleted(self):
+        db, __, log, rid = self.make_logged()
+        dml.delete_rid(db, "booking", rid)
+        with pytest.raises(ImputationReversalError):
+            log.revert(db, 0)
+
+    def test_revert_all_skips_unsuccessful(self):
+        db, fk = loaded()
+        log = ImputationLog()
+        rid1 = intelligent_insert(db, fk, (1011, "RF", NULL, "Oct 5"),
+                                  chooser=lambda s: s[0], log=log)
+        rid2 = intelligent_insert(db, fk, (1012, NULL, "MV", "Oct 6"),
+                                  chooser=lambda s: s[0], log=log)
+        dml.delete_rid(db, "booking", rid2)  # second becomes unrevertible
+        reverted = log.revert_all(db)
+        assert reverted == 1
+        assert db.table("booking").get_row(rid1)[2] is NULL

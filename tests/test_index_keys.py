@@ -1,0 +1,69 @@
+"""Unit tests for index key encoding (repro.indexes.keys)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.indexes.keys import (
+    NULL_COMPONENT,
+    decode_key,
+    encode_component,
+    encode_key,
+    key_has_prefix,
+    prefix_successor,
+)
+from repro.nulls import NULL
+
+values = st.one_of(st.integers(-50, 50), st.text(max_size=4), st.just(NULL))
+
+
+class TestEncoding:
+    def test_null_component(self):
+        assert encode_component(NULL) == NULL_COMPONENT
+
+    def test_value_component(self):
+        assert encode_component(7) == (1, 7)
+
+    def test_encode_key_mixed(self):
+        assert encode_key((NULL, 3)) == (NULL_COMPONENT, (1, 3))
+
+    def test_null_sorts_before_everything(self):
+        assert encode_key((NULL,)) < encode_key((-(10**9),))
+        assert encode_key((NULL, 5)) < encode_key((0, 5))
+
+    def test_prefix_preserved(self):
+        full = encode_key((1, NULL, 3))
+        partial = encode_key((1, NULL))
+        assert key_has_prefix(full, partial)
+        assert not key_has_prefix(full, encode_key((2,)))
+
+    @given(st.lists(values, max_size=5))
+    def test_roundtrip(self, vs):
+        key = encode_key(vs)
+        assert decode_key(key) == tuple(vs)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=4),
+           st.lists(st.integers(0, 20), min_size=1, max_size=4))
+    def test_order_matches_tuple_order_for_totals(self, a, b):
+        # For equal-length total keys the encoding is order-isomorphic.
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert (encode_key(a) < encode_key(b)) == (tuple(a) < tuple(b))
+
+
+class TestPrefixSuccessor:
+    def test_successor_bounds_prefix_block(self):
+        prefix = encode_key((3,))
+        successor = prefix_successor(prefix)
+        assert successor is not None
+        inside = encode_key((3, 99, 99))
+        outside = encode_key((4,))
+        assert inside < successor <= outside
+
+    def test_successor_of_null_component(self):
+        prefix = encode_key((NULL,))
+        successor = prefix_successor(prefix)
+        assert successor is not None
+        assert encode_key((NULL, 10**9)) < successor <= encode_key((0,))
+
+    def test_empty_prefix(self):
+        assert prefix_successor(()) is None

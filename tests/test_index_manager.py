@@ -1,0 +1,184 @@
+"""Unit tests for index definitions and the per-table manager."""
+
+import pytest
+
+from repro.errors import IndexError_, KeyViolation
+from repro.indexes.cost import CostTracker
+from repro.indexes.definition import IndexDefinition, IndexKind
+from repro.indexes.manager import IndexManager, TableIndex
+from repro.nulls import NULL
+
+
+class TestIndexDefinition:
+    def test_valid(self):
+        d = IndexDefinition("idx", ("a", "b"))
+        assert d.is_compound and not d.is_singleton
+        assert d.kind is IndexKind.BTREE
+
+    def test_singleton(self):
+        d = IndexDefinition("idx", ("a",))
+        assert d.is_singleton
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(IndexError_):
+            IndexDefinition("idx", ())
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(IndexError_):
+            IndexDefinition("idx", ("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(IndexError_):
+            IndexDefinition("", ("a",))
+
+    def test_describe(self):
+        d = IndexDefinition("idx", ("a", "b"), unique=True)
+        assert "UNIQUE" in d.describe()
+        assert "idx" in d.describe()
+
+
+def make_index(unique=False, kind=IndexKind.BTREE):
+    definition = IndexDefinition("idx", ("a", "b"), kind=kind, unique=unique)
+    return TableIndex(definition, (0, 1), CostTracker())
+
+
+class TestTableIndex:
+    def test_key_for_row(self):
+        index = make_index()
+        assert index.key_for_row((1, 2, "x")) == ((1, 1), (1, 2))
+
+    def test_insert_delete_row(self):
+        index = make_index()
+        index.insert_row(5, (1, 2, "x"))
+        assert list(index.scan_equal((1, 2))) == [5]
+        index.delete_row(5, (1, 2, "x"))
+        assert list(index.scan_equal((1, 2))) == []
+
+    def test_prefix_scan_on_compound(self):
+        index = make_index()
+        index.insert_row(1, (1, 2, "x"))
+        index.insert_row(2, (1, 3, "y"))
+        index.insert_row(3, (2, 2, "z"))
+        assert sorted(index.scan_equal((1,))) == [1, 2]
+
+    def test_update_row_moves_entry(self):
+        index = make_index()
+        index.insert_row(1, (1, 2, "x"))
+        index.update_row(1, (1, 2, "x"), (3, 4, "x"))
+        assert list(index.scan_equal((1, 2))) == []
+        assert list(index.scan_equal((3, 4))) == [1]
+
+    def test_update_row_noop_when_key_unchanged(self):
+        index = make_index()
+        index.insert_row(1, (1, 2, "x"))
+        index.update_row(1, (1, 2, "x"), (1, 2, "y"))
+        assert list(index.scan_equal((1, 2))) == [1]
+
+    def test_unique_rejects_total_duplicate(self):
+        index = make_index(unique=True)
+        index.insert_row(1, (1, 2, "x"))
+        with pytest.raises(KeyViolation):
+            index.insert_row(2, (1, 2, "y"))
+
+    def test_unique_allows_null_duplicates(self):
+        index = make_index(unique=True)
+        index.insert_row(1, (NULL, 2, "x"))
+        index.insert_row(2, (NULL, 2, "y"))  # SQL: NULL keys never collide
+        assert len(index) == 2
+
+    def test_unique_update_violation_restores_old_entry(self):
+        index = make_index(unique=True)
+        index.insert_row(1, (1, 2, "x"))
+        index.insert_row(2, (3, 4, "x"))
+        with pytest.raises(KeyViolation):
+            index.update_row(2, (3, 4, "x"), (1, 2, "x"))
+        assert list(index.scan_equal((3, 4))) == [2]
+
+    def test_hash_requires_full_key(self):
+        index = make_index(kind=IndexKind.HASH)
+        index.insert_row(1, (1, 2, "x"))
+        assert list(index.scan_equal((1, 2))) == [1]
+        with pytest.raises(IndexError_):
+            list(index.scan_equal((1,)))
+
+    def test_exists_equal(self):
+        index = make_index()
+        index.insert_row(1, (1, 2, "x"))
+        assert index.exists_equal((1,))
+        assert not index.exists_equal((9,))
+
+    def test_build_bulk(self):
+        index = make_index()
+        index.build([(i, (i % 3, i, "p")) for i in range(30)])
+        assert len(index) == 30
+        assert len(list(index.scan_equal((1,)))) == 10
+
+    def test_build_unique_violation(self):
+        index = make_index(unique=True)
+        with pytest.raises(KeyViolation):
+            index.build([(1, (1, 2, "x")), (2, (1, 2, "y"))])
+
+
+class TestIndexManager:
+    def make_manager(self):
+        manager = IndexManager(CostTracker())
+        manager.create(IndexDefinition("by_a", ("a",)), (0,))
+        manager.create(IndexDefinition("by_ab", ("a", "b")), (0, 1))
+        return manager
+
+    def test_create_and_names(self):
+        manager = self.make_manager()
+        assert set(manager.names()) == {"by_a", "by_ab"}
+        assert "by_a" in manager
+        assert len(manager) == 2
+
+    def test_duplicate_name_rejected(self):
+        manager = self.make_manager()
+        with pytest.raises(IndexError_):
+            manager.create(IndexDefinition("by_a", ("b",)), (1,))
+
+    def test_drop(self):
+        manager = self.make_manager()
+        manager.drop("by_a")
+        assert "by_a" not in manager
+        with pytest.raises(IndexError_):
+            manager.drop("by_a")
+
+    def test_version_bumps(self):
+        manager = self.make_manager()
+        v = manager.version
+        manager.drop("by_a")
+        assert manager.version == v + 1
+        manager.create(IndexDefinition("by_b", ("b",)), (1,))
+        assert manager.version == v + 2
+
+    def test_row_ops_maintain_all_indexes(self):
+        manager = self.make_manager()
+        manager.insert_row(7, (1, 2))
+        assert list(manager.get("by_a").scan_equal((1,))) == [7]
+        assert list(manager.get("by_ab").scan_equal((1, 2))) == [7]
+        manager.update_row(7, (1, 2), (3, 4))
+        assert list(manager.get("by_a").scan_equal((3,))) == [7]
+        manager.delete_row(7, (3, 4))
+        assert len(manager.get("by_a")) == 0
+
+    def test_insert_rollback_on_unique_violation(self):
+        manager = IndexManager(CostTracker())
+        manager.create(IndexDefinition("plain", ("a",)), (0,))
+        manager.create(IndexDefinition("uniq", ("b",), unique=True), (1,))
+        manager.insert_row(1, (1, 5))
+        with pytest.raises(KeyViolation):
+            manager.insert_row(2, (2, 5))
+        # The non-unique index must not keep a phantom entry for rid 2.
+        assert list(manager.get("plain").scan_equal((2,))) == []
+
+    def test_update_rollback_on_unique_violation(self):
+        manager = IndexManager(CostTracker())
+        manager.create(IndexDefinition("plain", ("a",)), (0,))
+        manager.create(IndexDefinition("uniq", ("b",), unique=True), (1,))
+        manager.insert_row(1, (1, 5))
+        manager.insert_row(2, (2, 6))
+        with pytest.raises(KeyViolation):
+            manager.update_row(2, (2, 6), (9, 5))
+        assert list(manager.get("plain").scan_equal((2,))) == [2]
+        assert list(manager.get("uniq").scan_equal((6,))) == [2]

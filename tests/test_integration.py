@@ -1,0 +1,165 @@
+"""Integration tests: whole-system flows across modules.
+
+These exercise the full pipeline the paper describes — generate data,
+declare and enforce a partial foreign key under an index structure, run
+the update workload, use the intelligent services, switch structures —
+asserting global invariants at every stage.
+"""
+
+import pytest
+
+from repro import (
+    EnforcedForeignKey,
+    IndexStructure,
+    ReferentialIntegrityViolation,
+    check_database,
+)
+from repro.constraints import satisfies_partial_semantics
+from repro.core.intelligent_query import augmented_select, incompleteness_ratio
+from repro.core.intelligent_update import (
+    choose_first,
+    intelligent_delete_method1,
+    intelligent_delete_method2,
+    intelligent_insert,
+)
+from repro.nulls import NULL, is_total
+from repro.query import dml
+from repro.query.predicate import equalities
+from repro.workloads import (
+    SyntheticConfig,
+    TpccConfig,
+    delete_stream,
+    generate_synthetic,
+    generate_tpcc,
+    inject_nulls,
+    insert_stream,
+)
+
+
+class TestSyntheticLifecycle:
+    @pytest.mark.parametrize("structure", [
+        IndexStructure.HYBRID, IndexStructure.BOUNDED, IndexStructure.POWERSET,
+    ])
+    def test_full_lifecycle(self, structure):
+        ds = generate_synthetic(SyntheticConfig(n_columns=3, parent_rows=400))
+        efk = EnforcedForeignKey.create(ds.db, ds.fk, structure)
+        assert check_database(ds.db) == []
+
+        for row in insert_stream(ds, 40):
+            dml.insert(ds.db, "C", row)
+        for key in delete_stream(ds, 15):
+            dml.delete_where(ds.db, "P", equalities(ds.fk.key_columns, key))
+        assert check_database(ds.db) == []
+        assert satisfies_partial_semantics(ds.db, ds.fk)
+
+        # switching the structure mid-flight must not break anything
+        efk.switch_structure(IndexStructure.SINGLETON)
+        for row in insert_stream(ds, 10, seed=77):
+            dml.insert(ds.db, "C", row)
+        assert check_database(ds.db) == []
+
+    def test_transactional_batch_rollback(self):
+        ds = generate_synthetic(SyntheticConfig(n_columns=3, parent_rows=300))
+        EnforcedForeignKey.create(ds.db, ds.fk, IndexStructure.BOUNDED)
+        p_rows = sorted(ds.parent_table.rows())
+        c_rows = sorted(ds.child_table.rows(), key=repr)
+        with pytest.raises(RuntimeError):
+            with ds.db.begin():
+                for row in insert_stream(ds, 25):
+                    dml.insert(ds.db, "C", row)
+                for key in delete_stream(ds, 10):
+                    dml.delete_where(ds.db, "P",
+                                     equalities(ds.fk.key_columns, key))
+                raise RuntimeError("abort the batch")
+        assert sorted(ds.parent_table.rows()) == p_rows
+        assert sorted(ds.child_table.rows(), key=repr) == c_rows
+        assert check_database(ds.db) == []
+
+
+class TestIntelligentServicesAtScale:
+    def test_imputation_reduces_incompleteness(self):
+        ds = generate_synthetic(
+            SyntheticConfig(n_columns=3, parent_rows=300, null_fraction=0.5)
+        )
+        EnforcedForeignKey.create(ds.db, ds.fk, IndexStructure.BOUNDED)
+        before = incompleteness_ratio(ds.db, ds.fk)
+        assert before > 0.3
+        for key in delete_stream(ds, 20):
+            intelligent_delete_method1(ds.db, ds.fk, key, chooser=choose_first)
+        after = incompleteness_ratio(ds.db, ds.fk)
+        assert after < before
+        assert check_database(ds.db) == []
+
+    def test_methods_agree_on_integrity(self):
+        for method in (intelligent_delete_method1, intelligent_delete_method2):
+            ds = generate_synthetic(
+                SyntheticConfig(n_columns=3, parent_rows=200, null_fraction=0.6)
+            )
+            EnforcedForeignKey.create(ds.db, ds.fk, IndexStructure.BOUNDED)
+            for key in delete_stream(ds, 15):
+                method(ds.db, ds.fk, key, chooser=choose_first)
+            assert check_database(ds.db) == []
+
+    def test_intelligent_insert_stream(self):
+        ds = generate_synthetic(
+            SyntheticConfig(n_columns=3, parent_rows=200, null_fraction=0.8)
+        )
+        EnforcedForeignKey.create(ds.db, ds.fk, IndexStructure.BOUNDED)
+        inserted_total = 0
+        all_null = 0
+        for row in insert_stream(ds, 30):
+            if all(v is NULL for v in ds.fk.child_values(row)):
+                all_null += 1
+            rid = intelligent_insert(
+                ds.db, ds.fk, row,
+                chooser=lambda s: s[0] if s else None,
+            )
+            if is_total(ds.fk.child_values(ds.child_table.get_row(rid))):
+                inserted_total += 1
+        # the chooser completes every partial tuple that has a parent;
+        # only fully-null tuples (no information to match on) stay open
+        assert inserted_total == 30 - all_null
+        assert check_database(ds.db) == []
+
+    def test_augmented_query_covers_all_partials(self):
+        ds = generate_synthetic(
+            SyntheticConfig(n_columns=3, parent_rows=150, null_fraction=0.5)
+        )
+        EnforcedForeignKey.create(ds.db, ds.fk, IndexStructure.BOUNDED)
+        answers = augmented_select(ds.db, ds.fk, max_imputations_per_row=2)
+        standard = [a for a in answers if a.standard]
+        imputed = [a for a in answers if not a.standard]
+        assert len(standard) == ds.child_table.row_count
+        # every imputed answer must be total on the FK columns
+        for a in imputed:
+            assert is_total(ds.fk.child_values(a.values))
+
+
+class TestBenchmarkDatabasesEndToEnd:
+    def test_tpcc_both_fks_enforced(self):
+        ds = generate_tpcc(TpccConfig(warehouses=1, districts_per_warehouse=3,
+                                      customers_per_district=20))
+        # With BOTH foreign keys active at once, ORDERS is a parent of
+        # ORDERLINE, so nulls may only go into o_c_id (not into the
+        # o_w_id/o_d_id key columns ORDERLINE references) and into the
+        # ORDERLINE foreign-key columns.  The paper runs the two FK tests
+        # separately, which is why it can spread nulls over all columns.
+        inject_nulls(ds.db.table("orders"), ("o_c_id",), 0.2)
+        inject_nulls(ds.db.table("orderline"),
+                     ds.fk_orderline_orders.fk_columns, 0.2, seed=5)
+        EnforcedForeignKey.create(ds.db, ds.fk_orders_customer,
+                                  IndexStructure.BOUNDED)
+        EnforcedForeignKey.create(ds.db, ds.fk_orderline_orders,
+                                  IndexStructure.BOUNDED)
+        assert check_database(ds.db) == []
+
+        with pytest.raises(ReferentialIntegrityViolation):
+            dml.insert(ds.db, "orderline", (1, 99, NULL, 1, 42, 1))
+
+        # deleting a customer cascades SET NULL through orders only
+        key = ds.customer_keys[0]
+        dml.delete_where(
+            ds.db, "customer",
+            equalities(("c_w_id", "c_d_id", "c_id"), key),
+        )
+        assert check_database(ds.db) == []

@@ -1,0 +1,120 @@
+"""Unit tests for the intelligent query service (§5)."""
+
+from repro import EnforcedForeignKey, IndexStructure
+from repro.core.intelligent_query import (
+    augmented_select,
+    incompleteness_ratio,
+    render_answer,
+)
+from repro.nulls import NULL
+from repro.query.predicate import Eq
+
+from .conftest import BOOKING_ROWS_VALID, make_tourism_db
+
+
+def loaded():
+    db, fk = make_tourism_db()
+    EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+    for row in BOOKING_ROWS_VALID:
+        db.insert("booking", row)
+    return db, fk
+
+
+class TestAugmentedSelect:
+    def test_paper_section5_answer(self):
+        """§5: SELECT tour_id, site_code FROM BOOKING, augmented."""
+        db, fk = loaded()
+        answers = augmented_select(db, fk, columns=("tour_id", "site_code"))
+        standard = [a.values for a in answers if a.standard]
+        imputed = [a.values for a in answers if not a.standard]
+        assert standard == [
+            ("BRT", "OR"), (NULL, "BB"), ("RF", NULL),
+        ]
+        # (null, BB) -> (RF, BB); (RF, null) -> (RF, BB) and (RF, OR)
+        assert sorted(imputed) == [("RF", "BB"), ("RF", "BB"), ("RF", "OR")]
+
+    def test_imputed_rows_follow_their_origin(self):
+        db, fk = loaded()
+        answers = augmented_select(db, fk, columns=("tour_id", "site_code"))
+        by_origin = {}
+        current = None
+        for a in answers:
+            if a.standard:
+                current = a.origin_rid
+            else:
+                assert a.origin_rid == current
+            by_origin.setdefault(a.origin_rid, []).append(a)
+        assert len(by_origin) == 3
+
+    def test_total_rows_not_augmented(self):
+        db, fk = loaded()
+        answers = augmented_select(db, fk, predicate=Eq("visitor_id", 1001))
+        assert len(answers) == 1 and answers[0].standard
+
+    def test_max_imputations_cap(self):
+        db, fk = loaded()
+        answers = augmented_select(
+            db, fk, columns=("tour_id", "site_code"),
+            predicate=Eq("visitor_id", 1011),
+            max_imputations_per_row=1,
+        )
+        assert len([a for a in answers if not a.standard]) == 1
+
+    def test_projection_without_fk_columns_deduplicates(self):
+        db, fk = loaded()
+        answers = augmented_select(
+            db, fk, columns=("visitor_id",), predicate=Eq("visitor_id", 1011)
+        )
+        # all imputations project to the same (1011,): suppressed
+        assert [a.values for a in answers] == [(1011,)]
+
+    def test_parent_key_recorded(self):
+        db, fk = loaded()
+        answers = augmented_select(db, fk, predicate=Eq("visitor_id", 1008))
+        imputed = [a for a in answers if not a.standard]
+        assert imputed[0].parent_key == ("RF", "BB")
+
+    def test_fully_null_child_not_augmented(self):
+        db, fk = loaded()
+        db.insert("booking", (1099, NULL, NULL, "Dec 1"))
+        answers = augmented_select(db, fk, predicate=Eq("visitor_id", 1099))
+        assert len(answers) == 1
+
+
+class TestRendering:
+    def test_render_marks_imputed_rows(self):
+        db, fk = loaded()
+        answers = augmented_select(db, fk, columns=("tour_id", "site_code"))
+        text = render_answer(answers, ("tour_id", "site_code"))
+        assert "+ (RF, OR)" in text
+        assert "  (BRT, OR)" in text
+        assert "null" in text
+
+    def test_describe(self):
+        db, fk = loaded()
+        answers = augmented_select(db, fk, columns=("tour_id", "site_code"))
+        assert answers[0].describe().startswith("  ")
+
+
+class TestIncompleteness:
+    def test_ratio(self):
+        db, fk = loaded()
+        # 2 of 3 rows have a null FK component
+        assert incompleteness_ratio(db, fk) == 2 / 3
+
+    def test_ratio_with_predicate(self):
+        db, fk = loaded()
+        assert incompleteness_ratio(db, fk, Eq("visitor_id", 1001)) == 0.0
+
+    def test_ratio_empty(self):
+        db, fk = make_tourism_db()
+        assert incompleteness_ratio(db, fk) == 0.0
+
+    def test_ratio_falls_after_imputation(self):
+        from repro.core.intelligent_update import choose_first, intelligent_delete_method1
+
+        db, fk = loaded()
+        before = incompleteness_ratio(db, fk)
+        intelligent_delete_method1(db, fk, ("RF", "OR"), chooser=choose_first)
+        after = incompleteness_ratio(db, fk)
+        assert after < before

@@ -1,0 +1,134 @@
+"""Unit tests for the NULL marker and subsumption (repro.nulls)."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.nulls import (
+    NULL,
+    NullMarker,
+    impute,
+    is_fully_null,
+    is_null,
+    is_subsumed_by,
+    is_total,
+    null_positions,
+    total_positions,
+)
+
+
+class TestNullMarker:
+    def test_singleton_identity(self):
+        assert NullMarker() is NULL
+        assert NullMarker() is NullMarker()
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_is_not_none(self):
+        assert NULL is not None
+
+    def test_copy_preserves_identity(self):
+        assert copy.copy(NULL) is NULL
+        assert copy.deepcopy(NULL) is NULL
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+    def test_deepcopy_inside_structure(self):
+        rows = [(1, NULL), (NULL, 2)]
+        copied = copy.deepcopy(rows)
+        assert copied[0][1] is NULL
+        assert copied[1][0] is NULL
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(0)
+        assert not is_null("")
+        assert not is_null(None)
+
+    def test_is_total(self):
+        assert is_total((1, 2, 3))
+        assert is_total(())
+        assert not is_total((1, NULL, 3))
+
+    def test_is_fully_null(self):
+        assert is_fully_null((NULL, NULL))
+        assert is_fully_null(())
+        assert not is_fully_null((NULL, 1))
+
+    def test_positions(self):
+        values = (1, NULL, 3, NULL)
+        assert null_positions(values) == (1, 3)
+        assert total_positions(values) == (0, 2)
+
+    def test_positions_disjoint_and_complete(self):
+        values = (NULL, "x", NULL)
+        nulls, totals = null_positions(values), total_positions(values)
+        assert set(nulls) | set(totals) == {0, 1, 2}
+        assert set(nulls) & set(totals) == set()
+
+
+class TestSubsumption:
+    def test_total_match(self):
+        assert is_subsumed_by((1, 2), (1, 2))
+
+    def test_total_mismatch(self):
+        assert not is_subsumed_by((1, 2), (1, 3))
+
+    def test_partial_match(self):
+        assert is_subsumed_by((NULL, 2), (1, 2))
+        assert is_subsumed_by((1, NULL), (1, 2))
+
+    def test_partial_mismatch_on_total_component(self):
+        assert not is_subsumed_by((NULL, 2), (1, 3))
+
+    def test_all_null_subsumed_by_everything(self):
+        assert is_subsumed_by((NULL, NULL), (7, 8))
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            is_subsumed_by((1,), (1, 2))
+
+    def test_paper_example_brf_not_subsumed(self):
+        """Example 1: (BRF, null) has no subsuming TOUR tuple."""
+        tours = [("GCG", "OR"), ("BRT", "OR"), ("BRT", "MV"),
+                 ("RF", "BB"), ("RF", "OR")]
+        assert not any(is_subsumed_by(("BRF", NULL), t) for t in tours)
+
+    def test_paper_example_rf_subsumed_twice(self):
+        tours = [("GCG", "OR"), ("BRT", "OR"), ("BRT", "MV"),
+                 ("RF", "BB"), ("RF", "OR")]
+        matches = [t for t in tours if is_subsumed_by(("RF", NULL), t)]
+        assert matches == [("RF", "BB"), ("RF", "OR")]
+
+    def test_null_never_equals_value(self):
+        # NULL in the parent matches only NULL-for-any in the child side:
+        # subsumption requires child NULL or equality, so a child total
+        # value never matches a parent NULL.
+        assert not is_subsumed_by((1,), (NULL,))
+        assert is_subsumed_by((NULL,), (NULL,))
+
+
+class TestImpute:
+    def test_fills_only_nulls(self):
+        assert impute((1, NULL, NULL), (1, 2, 3)) == (1, 2, 3)
+        assert impute((NULL, 5), (4, 5)) == (4, 5)
+
+    def test_identity_for_total(self):
+        assert impute((1, 2), (1, 2)) == (1, 2)
+
+    def test_rejects_non_subsuming_parent(self):
+        with pytest.raises(ValueError):
+            impute((1, NULL), (2, 3))
+
+    def test_paper_example(self):
+        """§4.1: (RF, null) imputed from (RF, BB) and (RF, OR)."""
+        assert impute(("RF", NULL), ("RF", "BB")) == ("RF", "BB")
+        assert impute(("RF", NULL), ("RF", "OR")) == ("RF", "OR")

@@ -1,0 +1,173 @@
+"""Unit tests for predicates (repro.query.predicate)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.nulls import NULL
+from repro.query.predicate import (
+    ALWAYS,
+    And,
+    Cmp,
+    ConjunctionProfile,
+    Eq,
+    IsNotNull,
+    IsNull,
+    Not,
+    Or,
+    TruePredicate,
+    equalities,
+)
+from repro.storage.schema import Column, TableSchema
+
+SCHEMA = TableSchema([Column("a"), Column("b"), Column("c")])
+
+
+def holds(pred, row):
+    assert pred.evaluate(row, SCHEMA) == pred.compile(SCHEMA)(row)
+    return pred.evaluate(row, SCHEMA)
+
+
+class TestAtoms:
+    def test_eq(self):
+        assert holds(Eq("a", 5), (5, 0, 0))
+        assert not holds(Eq("a", 5), (4, 0, 0))
+
+    def test_eq_never_matches_null(self):
+        assert not holds(Eq("a", 5), (NULL, 0, 0))
+
+    def test_eq_against_null_rejected(self):
+        with pytest.raises(QueryError):
+            Eq("a", NULL)
+        with pytest.raises(QueryError):
+            Eq("a", None)
+
+    def test_is_null(self):
+        assert holds(IsNull("b"), (0, NULL, 0))
+        assert not holds(IsNull("b"), (0, 1, 0))
+
+    def test_is_not_null(self):
+        assert holds(IsNotNull("b"), (0, 1, 0))
+        assert not holds(IsNotNull("b"), (0, NULL, 0))
+
+    def test_cmp(self):
+        assert holds(Cmp("a", "<", 5), (4, 0, 0))
+        assert not holds(Cmp("a", "<", 5), (5, 0, 0))
+        assert holds(Cmp("a", "!=", 5), (4, 0, 0))
+
+    def test_cmp_null_is_unknown(self):
+        assert not holds(Cmp("a", "<", 5), (NULL, 0, 0))
+        assert not holds(Cmp("a", "!=", 5), (NULL, 0, 0))
+
+    def test_cmp_bad_operator(self):
+        with pytest.raises(QueryError):
+            Cmp("a", "~", 5)
+
+    def test_always(self):
+        assert holds(ALWAYS, (1, 2, 3))
+
+
+class TestCombinators:
+    def test_and(self):
+        p = And(Eq("a", 1), Eq("b", 2))
+        assert holds(p, (1, 2, 0))
+        assert not holds(p, (1, 3, 0))
+
+    def test_and_flattens(self):
+        p = And(And(Eq("a", 1), Eq("b", 2)), Eq("c", 3))
+        assert len(p.children) == 3
+
+    def test_and_drops_true(self):
+        p = And(ALWAYS, Eq("a", 1))
+        assert len(p.children) == 1
+
+    def test_empty_and_is_true(self):
+        assert holds(And(), (9, 9, 9))
+
+    def test_or(self):
+        p = Or(Eq("a", 1), Eq("b", 2))
+        assert holds(p, (0, 2, 0))
+        assert not holds(p, (0, 0, 0))
+
+    def test_or_flattens(self):
+        p = Or(Or(Eq("a", 1), Eq("b", 2)), Eq("c", 3))
+        assert len(p.children) == 3
+
+    def test_empty_or_rejected(self):
+        with pytest.raises(QueryError):
+            Or()
+
+    def test_not(self):
+        assert holds(Not(Eq("a", 1)), (2, 0, 0))
+
+    def test_operators(self):
+        p = Eq("a", 1) & Eq("b", 2)
+        assert isinstance(p, And)
+        q = Eq("a", 1) | Eq("b", 2)
+        assert isinstance(q, Or)
+        assert isinstance(~Eq("a", 1), Not)
+
+
+class TestSqlRendering:
+    def test_atoms(self):
+        assert Eq("a", 5).sql() == "a = 5"
+        assert Eq("a", "x'y").sql() == "a = 'x''y'"
+        assert IsNull("a").sql() == "a IS NULL"
+        assert Cmp("a", ">=", 3).sql() == "a >= 3"
+
+    def test_and_or(self):
+        p = And(Eq("a", 1), Or(Eq("b", 2), IsNull("c")))
+        assert p.sql() == "a = 1 AND (b = 2 OR c IS NULL)"
+
+    def test_repr_contains_sql(self):
+        assert "a = 1" in repr(Eq("a", 1))
+
+
+class TestEqualities:
+    def test_builds_eq_and_isnull(self):
+        p = equalities(("a", "b", "c"), (1, NULL, 3))
+        assert holds(p, (1, NULL, 3))
+        assert not holds(p, (1, 2, 3))
+
+    def test_single_term_unwrapped(self):
+        assert isinstance(equalities(("a",), (1,)), Eq)
+
+    def test_empty_is_always(self):
+        assert isinstance(equalities((), ()), TruePredicate)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(QueryError):
+            equalities(("a",), (1, 2))
+
+
+class TestConjunctionProfile:
+    def test_plain_conjunction(self):
+        p = And(Eq("a", 1), IsNull("b"))
+        prof = ConjunctionProfile(p)
+        assert prof.eq == {"a": 1}
+        assert prof.null_cols == {"b"}
+        assert prof.sargable and not prof.residual
+
+    def test_none_predicate(self):
+        prof = ConjunctionProfile(None)
+        assert prof.eq == {} and not prof.null_cols
+
+    def test_or_forces_full_scan(self):
+        prof = ConjunctionProfile(Or(Eq("a", 1), Eq("b", 2)))
+        assert not prof.eq
+        assert not prof.sargable
+
+    def test_eq_with_or_residual_still_sargable(self):
+        p = And(Eq("a", 1), Or(IsNull("b"), IsNull("c")))
+        prof = ConjunctionProfile(p)
+        assert prof.eq == {"a": 1}
+        assert prof.sargable and prof.residual
+
+    def test_cmp_is_residual(self):
+        prof = ConjunctionProfile(And(Eq("a", 1), Cmp("b", "<", 5)))
+        assert prof.eq == {"a": 1}
+        assert prof.residual and prof.sargable
+
+    def test_contradictory_equalities_kept_as_residual(self):
+        prof = ConjunctionProfile(And(Eq("a", 1), Eq("a", 2)))
+        assert prof.eq == {"a": 1}
+        assert prof.residual

@@ -1,0 +1,124 @@
+"""Unit tests for the prepared probes (repro.query.probes).
+
+The probes must agree exactly — results and cost accounting — with the
+general executor path running the equivalent predicate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.definition import IndexDefinition
+from repro.nulls import NULL
+from repro.query import executor, probes
+from repro.query.predicate import And, Eq, IsNull, equalities
+from repro.storage.schema import Column
+from repro.storage.table import Table
+
+
+def make_table(*index_defs, rows=60):
+    t = Table("t", [Column("a"), Column("b"), Column("c")])
+    for i in range(rows):
+        b = NULL if i % 5 == 0 else i % 7
+        t.insert_row((i % 6, b, i))
+    for d in index_defs:
+        t.create_index(d)
+    return t
+
+
+COMPOUND = IndexDefinition("ab", ("a", "b"))
+SINGLE_A = IndexDefinition("a_only", ("a",))
+
+
+class TestExistsEq:
+    def test_positive_via_index(self):
+        t = make_table(SINGLE_A)
+        assert probes.exists_eq(t, ("a",), (3,))
+
+    def test_negative_via_index(self):
+        t = make_table(SINGLE_A)
+        assert not probes.exists_eq(t, ("a",), (99,))
+
+    def test_positive_full_scan(self):
+        t = make_table()
+        assert probes.exists_eq(t, ("b",), (3,))
+
+    def test_negative_full_scan_counts_all_rows(self):
+        t = make_table()
+        t.tracker.reset()
+        assert not probes.exists_eq(t, ("c",), (-1,))
+        assert t.tracker["rows_examined"] == 60
+        assert t.tracker["full_scans"] == 1
+
+    def test_null_columns_filter(self):
+        t = make_table(SINGLE_A)
+        # rows with a == 0 include i=0 (b NULL) and others
+        assert probes.exists_eq(t, ("a",), (0,), null_columns=("b",))
+        assert not probes.exists_eq(t, ("c",), (1,), null_columns=("b",))
+
+    def test_residual_equality_filter(self):
+        t = make_table(SINGLE_A)
+        # a = 1 rows have c in {1, 7, 13, ...}
+        assert probes.exists_eq(t, ("a", "c"), (1, 7))
+        assert not probes.exists_eq(t, ("a", "c"), (1, 8))
+
+    def test_compound_prefix_used(self):
+        t = make_table(COMPOUND)
+        t.tracker.reset()
+        assert probes.exists_eq(t, ("a", "b"), (1, 1))
+        assert t.tracker["full_scans"] == 0
+
+    def test_agrees_with_executor(self):
+        for defs in ((), (SINGLE_A,), (COMPOUND,), (SINGLE_A, COMPOUND)):
+            t = make_table(*defs)
+
+            class FakeDb:
+                def __init__(self, table):
+                    self._t = table
+                    self.tracker = table.tracker
+
+                def table(self, name):
+                    return self._t
+
+            db = FakeDb(t)
+            cases = [
+                (("a",), (2,), ()),
+                (("a", "b"), (2, 3), ()),
+                (("a",), (2,), ("b",)),
+                (("c",), (11,), ()),
+                (("a", "c"), (0, 0), ("b",)),
+            ]
+            for columns, values, null_cols in cases:
+                pred = equalities(columns, values)
+                for nc in null_cols:
+                    pred = And(pred, IsNull(nc))
+                expected = executor.exists(db, "t", pred)
+                actual = probes.exists_eq(t, columns, values, null_cols)
+                assert actual == expected, (defs, columns, values, null_cols)
+
+
+@given(
+    data=st.data(),
+    rows=st.integers(10, 40),
+)
+@settings(max_examples=40, deadline=None)
+def test_probe_matches_bruteforce(data, rows):
+    t = Table("t", [Column("a"), Column("b")])
+    table_rows = []
+    for __ in range(rows):
+        a = data.draw(st.one_of(st.integers(0, 3), st.just(NULL)))
+        b = data.draw(st.one_of(st.integers(0, 3), st.just(NULL)))
+        table_rows.append((a, b))
+        t.insert_row((a, b))
+    if data.draw(st.booleans()):
+        t.create_index(IndexDefinition("a_idx", ("a",)))
+
+    probe_a = data.draw(st.integers(0, 3))
+    want_b_null = data.draw(st.booleans())
+    null_cols = ("b",) if want_b_null else ()
+    expected = any(
+        r[0] == probe_a and (r[1] is NULL if want_b_null else True)
+        for r in table_rows
+        if r[0] is not NULL
+    )
+    assert probes.exists_eq(t, ("a",), (probe_a,), null_cols) == expected

@@ -1,0 +1,111 @@
+"""Property-based tests: the B+ tree vs a sorted-list model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.indexes.btree import BPlusTree
+from repro.indexes.keys import encode_key
+from repro.nulls import NULL
+
+values = st.one_of(st.integers(0, 30), st.just(NULL))
+keys = st.tuples(values, values)
+
+
+@st.composite
+def entry_lists(draw):
+    raw = draw(st.lists(st.tuples(keys, st.integers(0, 10_000)), max_size=200))
+    seen = set()
+    out = []
+    for key, rid in raw:
+        entry = (encode_key(key), rid)
+        if entry not in seen:
+            seen.add(entry)
+            out.append(entry)
+    return out
+
+
+@given(entry_lists())
+@settings(max_examples=60)
+def test_scan_all_is_sorted_and_complete(entries):
+    t = BPlusTree(order=4)
+    for key, rid in entries:
+        t.insert(key, rid)
+    result = list(t.scan_all())
+    assert result == sorted(entries)
+    t.check_invariants()
+
+
+@given(entry_lists(), st.data())
+@settings(max_examples=60)
+def test_delete_subset_matches_model(entries, data):
+    t = BPlusTree(order=4)
+    for key, rid in entries:
+        t.insert(key, rid)
+    if entries:
+        doomed = data.draw(st.lists(st.sampled_from(entries), unique=True))
+    else:
+        doomed = []
+    for key, rid in doomed:
+        t.delete(key, rid)
+    survivors = sorted(set(entries) - set(doomed))
+    assert list(t.scan_all()) == survivors
+    t.check_invariants()
+
+
+@given(entry_lists(), keys)
+@settings(max_examples=60)
+def test_prefix_scan_matches_filter(entries, probe):
+    t = BPlusTree(order=4)
+    for key, rid in entries:
+        t.insert(key, rid)
+    prefix = encode_key(probe)[:1]
+    expected = sorted(e for e in entries if e[0][:1] == prefix)
+    assert list(t.scan_prefix(prefix)) == expected
+
+
+@given(entry_lists())
+@settings(max_examples=40)
+def test_bulk_load_equals_incremental(entries):
+    bulk = BPlusTree(order=6)
+    bulk.bulk_load(entries)
+    inc = BPlusTree(order=6)
+    for key, rid in entries:
+        inc.insert(key, rid)
+    assert list(bulk.scan_all()) == list(inc.scan_all())
+    bulk.check_invariants()
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful comparison of the tree against a Python-set model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)
+        self.model: set = set()
+
+    inserted = Bundle("inserted")
+
+    @rule(target=inserted, key=keys, rid=st.integers(0, 500))
+    def insert(self, key, rid):
+        entry = (encode_key(key), rid)
+        if entry in self.model:
+            return entry
+        self.tree.insert(*entry)
+        self.model.add(entry)
+        return entry
+
+    @rule(entry=inserted)
+    def delete(self, entry):
+        if entry in self.model:
+            self.tree.delete(*entry)
+            self.model.remove(entry)
+
+    @invariant()
+    def matches_model(self):
+        assert list(self.tree.scan_all()) == sorted(self.model)
+        assert len(self.tree) == len(self.model)
+
+
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(max_examples=25, stateful_step_count=40)

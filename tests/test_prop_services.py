@@ -1,0 +1,118 @@
+"""Property-based tests for the intelligent services (§4/§5 invariants)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Column,
+    Database,
+    EnforcedForeignKey,
+    ForeignKey,
+    IndexStructure,
+    MatchSemantics,
+)
+from repro.constraints import check_database
+from repro.core.intelligent_query import augmented_select
+from repro.core.intelligent_update import (
+    choose_first,
+    insertion_alternatives,
+    intelligent_delete_method1,
+    intelligent_delete_method2,
+)
+from repro.nulls import NULL, is_subsumed_by, is_total
+from repro.query import dml
+from repro.query.predicate import equalities
+
+N = 3
+PARENT_KEY = st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3))
+
+
+def build(parent_keys):
+    db = Database()
+    db.create_table("p", [Column(f"k{i}", nullable=False) for i in range(N)])
+    db.create_table("c", [Column(f"f{i}") for i in range(N)])
+    fk = ForeignKey("fk", "c", tuple(f"f{i}" for i in range(N)),
+                    "p", tuple(f"k{i}" for i in range(N)),
+                    match=MatchSemantics.PARTIAL)
+    EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+    for key in parent_keys:
+        dml.insert(db, "p", key)
+    return db, fk
+
+
+def masked_children(data, parent_keys, max_children):
+    n_children = data.draw(st.integers(0, max_children))
+    children = []
+    for __ in range(n_children):
+        parent = data.draw(st.sampled_from(parent_keys))
+        mask = data.draw(st.tuples(*[st.booleans()] * N))
+        children.append(tuple(NULL if m else v for m, v in zip(mask, parent)))
+    return children
+
+
+@given(parent_keys=st.lists(PARENT_KEY, min_size=1, max_size=8, unique=True),
+       data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_insertion_alternatives_are_exactly_the_subsuming_parents(
+    parent_keys, data
+):
+    db, fk = build(parent_keys)
+    parent = data.draw(st.sampled_from(parent_keys))
+    mask = data.draw(st.tuples(*[st.booleans()] * N))
+    child = tuple(NULL if m else v for m, v in zip(mask, parent))
+    suggestions = insertion_alternatives(db, fk, child)
+    if is_total(child) or all(v is NULL for v in child):
+        assert suggestions == []
+        return
+    # every suggestion's donor subsumes the original value, and every
+    # subsuming parent appears exactly once
+    donors = sorted(s.parent_key for s in suggestions)
+    expected = sorted(p for p in parent_keys if is_subsumed_by(child, p))
+    assert donors == expected
+    for s in suggestions:
+        assert is_total(fk.child_values(s.row))
+
+
+@given(parent_keys=st.lists(PARENT_KEY, min_size=2, max_size=7, unique=True),
+       data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_intelligent_deletion_preserves_integrity_and_monotonicity(
+    parent_keys, data
+):
+    method = data.draw(st.sampled_from(
+        [intelligent_delete_method1, intelligent_delete_method2]
+    ))
+    db, fk = build(parent_keys)
+    for child in masked_children(data, parent_keys, 8):
+        dml.insert(db, "c", child)
+    victims = data.draw(st.lists(st.sampled_from(parent_keys), unique=True))
+    for key in victims:
+        before = db.table("c").row_count
+        outcome = method(db, fk, key, chooser=choose_first)
+        # SET NULL never deletes children
+        assert db.table("c").row_count == before
+        assert outcome.parent_key == key
+        assert check_database(db) == []
+
+
+@given(parent_keys=st.lists(PARENT_KEY, min_size=1, max_size=8, unique=True),
+       data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_augmented_answers_are_sound_and_anchored(parent_keys, data):
+    db, fk = build(parent_keys)
+    for child in masked_children(data, parent_keys, 8):
+        dml.insert(db, "c", child)
+    answers = augmented_select(db, fk)
+    standard = [a for a in answers if a.standard]
+    assert len(standard) == db.table("c").row_count
+    valid_rids = {a.origin_rid for a in standard}
+    for answer in answers:
+        if answer.standard:
+            continue
+        # soundness: the imputed FK value is total and equals a real parent
+        fk_value = fk.child_values(answer.values)
+        assert is_total(fk_value)
+        assert answer.parent_key in parent_keys
+        assert fk_value == answer.parent_key
+        # anchoring: it originates from a standard row still in the answer
+        assert answer.origin_rid in valid_rids

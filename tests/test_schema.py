@@ -1,0 +1,120 @@
+"""Unit tests for schemas and types (repro.storage.schema)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.nulls import NULL
+from repro.storage.schema import Column, DataType, TableSchema
+
+
+class TestDataType:
+    def test_integer(self):
+        assert DataType.INTEGER.accepts(5)
+        assert not DataType.INTEGER.accepts(5.0)
+        assert not DataType.INTEGER.accepts(True)  # bool is not an SQL int
+        assert not DataType.INTEGER.accepts("5")
+
+    def test_float(self):
+        assert DataType.FLOAT.accepts(5.5)
+        assert DataType.FLOAT.accepts(5)  # ints widen
+        assert not DataType.FLOAT.accepts(True)
+
+    def test_text(self):
+        assert DataType.TEXT.accepts("x")
+        assert not DataType.TEXT.accepts(5)
+
+    def test_boolean(self):
+        assert DataType.BOOLEAN.accepts(True)
+        assert not DataType.BOOLEAN.accepts(1)
+
+
+class TestColumn:
+    def test_defaults(self):
+        c = Column("a")
+        assert c.dtype is DataType.INTEGER
+        assert c.nullable
+        assert c.default is NULL
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("")
+        with pytest.raises(SchemaError):
+            Column("bad name")
+
+    def test_default_type_checked(self):
+        with pytest.raises(SchemaError):
+            Column("a", DataType.INTEGER, default="x")
+
+    def test_validate_null_on_not_null(self):
+        c = Column("a", nullable=False)
+        with pytest.raises(SchemaError):
+            c.validate(NULL)
+
+    def test_validate_rejects_python_none(self):
+        c = Column("a")
+        with pytest.raises(SchemaError, match="repro.NULL"):
+            c.validate(None)
+
+    def test_validate_type(self):
+        c = Column("a", DataType.TEXT)
+        assert c.validate("ok") == "ok"
+        with pytest.raises(SchemaError):
+            c.validate(3)
+
+
+class TestTableSchema:
+    def make(self):
+        return TableSchema([
+            Column("a", DataType.INTEGER, nullable=False),
+            Column("b", DataType.TEXT),
+            Column("c", DataType.INTEGER, default=7),
+        ])
+
+    def test_positions(self):
+        s = self.make()
+        assert s.position("a") == 0
+        assert s.positions(("c", "a")) == (2, 0)
+        with pytest.raises(SchemaError):
+            s.position("zzz")
+
+    def test_contains_and_len(self):
+        s = self.make()
+        assert "b" in s and "z" not in s
+        assert len(s) == 3
+        assert s.column_names == ("a", "b", "c")
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema([Column("a"), Column("a")])
+
+    def test_validate_row(self):
+        s = self.make()
+        assert s.validate_row([1, "x", 2]) == (1, "x", 2)
+        with pytest.raises(SchemaError):
+            s.validate_row([1, "x"])  # arity
+        with pytest.raises(SchemaError):
+            s.validate_row([NULL, "x", 2])  # NOT NULL
+        with pytest.raises(SchemaError):
+            s.validate_row([1, 5, 2])  # type
+
+    def test_row_from_mapping_uses_defaults(self):
+        s = self.make()
+        assert s.row_from_mapping({"a": 1}) == (1, NULL, 7)
+
+    def test_row_from_mapping_unknown_column(self):
+        s = self.make()
+        with pytest.raises(SchemaError):
+            s.row_from_mapping({"a": 1, "zzz": 2})
+
+    def test_project(self):
+        s = self.make()
+        assert s.project((1, "x", 2), ("c", "a")) == (2, 1)
+
+    def test_describe_mentions_not_null_and_default(self):
+        text = self.make().describe()
+        assert "NOT NULL" in text
+        assert "DEFAULT" in text

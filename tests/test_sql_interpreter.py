@@ -1,0 +1,212 @@
+"""Integration tests for the SQL session (parse + execute)."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    KeyViolation,
+    QueryError,
+    ReferentialIntegrityViolation,
+    RestrictViolation,
+    TransactionError,
+)
+from repro.nulls import NULL
+from repro.sql import SqlSession
+
+TOURISM_DDL = """
+CREATE TABLE tour (
+  tour_id TEXT NOT NULL,
+  site_code TEXT NOT NULL,
+  site_name TEXT,
+  PRIMARY KEY (tour_id, site_code)
+);
+CREATE TABLE booking (
+  visitor_id INTEGER NOT NULL,
+  tour_id TEXT,
+  site_code TEXT,
+  day TEXT,
+  FOREIGN KEY (tour_id, site_code) REFERENCES tour (tour_id, site_code)
+    MATCH PARTIAL ON DELETE SET NULL WITH STRUCTURE bounded
+);
+INSERT INTO tour VALUES
+  ('GCG','OR','OReillys'), ('BRT','OR','OReillys'), ('BRT','MV','Movie World'),
+  ('RF','BB','Binna Burra'), ('RF','OR','OReillys');
+"""
+
+
+@pytest.fixture
+def session():
+    s = SqlSession()
+    s.execute(TOURISM_DDL)
+    return s
+
+
+class TestDdl:
+    def test_create_reports_enforcement(self, session):
+        result = session.execute_one(
+            "CREATE TABLE extra (f TEXT, FOREIGN KEY (f) "
+            "REFERENCES tour (tour_id) MATCH PARTIAL)"
+        )
+        assert "MATCH PARTIAL" in result.message
+        assert "enforced" in result.message
+
+    def test_primary_key_implies_not_null(self, session):
+        with pytest.raises(Exception):
+            session.execute("INSERT INTO tour VALUES (NULL, 'XX', 'x')")
+
+    def test_duplicate_pk_rejected(self, session):
+        with pytest.raises(KeyViolation):
+            session.execute("INSERT INTO tour VALUES ('GCG','OR','dup')")
+
+    def test_drop_table_with_fk_drops_enforcement(self, session):
+        session.execute("DROP TABLE booking")
+        assert "booking" not in session.db
+        assert len(session.db.triggers) == 0
+
+    def test_create_and_drop_index(self, session):
+        session.execute("CREATE INDEX by_name ON tour (site_name)")
+        assert "by_name" in session.db.table("tour").indexes
+        session.execute("DROP INDEX by_name ON tour")
+        assert "by_name" not in session.db.table("tour").indexes
+
+
+class TestEnforcementThroughSql:
+    def test_partial_veto(self, session):
+        with pytest.raises(ReferentialIntegrityViolation):
+            session.execute("INSERT INTO booking VALUES (1, 'BRF', NULL, 'x')")
+
+    def test_subsumed_accepted(self, session):
+        result = session.execute_one(
+            "INSERT INTO booking VALUES (1011, 'RF', NULL, 'Oct 5')"
+        )
+        assert result.rowcount == 1
+
+    def test_delete_applies_partial_semantics(self, session):
+        session.execute("INSERT INTO booking VALUES (1011, 'RF', NULL, 'Oct 5')")
+        session.execute(
+            "DELETE FROM tour WHERE tour_id = 'RF' AND site_code = 'OR'"
+        )
+        rows = session.execute_one("SELECT tour_id, site_code FROM booking").rows
+        assert rows == [("RF", NULL)]  # alternative parent (RF, BB) remains
+        session.execute(
+            "DELETE FROM tour WHERE tour_id = 'RF' AND site_code = 'BB'"
+        )
+        rows = session.execute_one("SELECT tour_id, site_code FROM booking").rows
+        assert rows == [(NULL, NULL)]
+
+    def test_restrict_through_sql(self):
+        s = SqlSession()
+        s.execute("""
+            CREATE TABLE p (k INTEGER NOT NULL, PRIMARY KEY (k));
+            CREATE TABLE c (f INTEGER, FOREIGN KEY (f) REFERENCES p (k)
+                MATCH PARTIAL ON DELETE RESTRICT);
+            INSERT INTO p VALUES (1);
+            INSERT INTO c VALUES (1);
+        """)
+        with pytest.raises(RestrictViolation):
+            s.execute("DELETE FROM p WHERE k = 1")
+
+    def test_check_database(self, session):
+        result = session.execute_one("CHECK DATABASE")
+        assert result.rows == []
+        assert "satisfies" in result.message
+
+
+class TestQueries:
+    def test_select_projection_and_limit(self, session):
+        result = session.execute_one(
+            "SELECT site_name FROM tour WHERE tour_id = 'BRT' LIMIT 1"
+        )
+        assert result.columns == ("site_name",)
+        assert len(result.rows) == 1
+
+    def test_select_where_or(self, session):
+        result = session.execute_one(
+            "SELECT * FROM tour WHERE tour_id = 'RF' OR site_code = 'MV'"
+        )
+        assert len(result.rows) == 3
+
+    def test_count_star(self, session):
+        result = session.execute_one("SELECT COUNT(*) FROM tour")
+        assert result.rows == [(5,)]
+
+    def test_explain(self, session):
+        result = session.execute_one(
+            "EXPLAIN SELECT * FROM tour WHERE tour_id = 'RF'"
+        )
+        assert "REF tour" in result.message or "FULL SCAN" in result.message
+
+    def test_render_contains_nulls(self, session):
+        session.execute("INSERT INTO booking VALUES (1011, 'RF', NULL, 'Oct 5')")
+        text = session.execute_one("SELECT * FROM booking").render()
+        assert "NULL" in text and "(1 row)" in text
+
+    def test_unknown_table(self, session):
+        with pytest.raises(CatalogError):
+            session.execute("SELECT * FROM nope")
+
+
+class TestDmlStatements:
+    def test_insert_named_columns_defaults(self, session):
+        session.execute(
+            "INSERT INTO booking (visitor_id, tour_id) VALUES (7, 'RF')"
+        )
+        rows = session.execute_one(
+            "SELECT site_code, day FROM booking WHERE visitor_id = 7"
+        ).rows
+        assert rows == [(NULL, NULL)]
+
+    def test_insert_arity_mismatch(self, session):
+        with pytest.raises(QueryError):
+            session.execute("INSERT INTO booking (visitor_id) VALUES (1, 2)")
+        with pytest.raises(QueryError):
+            session.execute("INSERT INTO booking VALUES (1)")
+
+    def test_update(self, session):
+        session.execute("INSERT INTO booking VALUES (1, 'RF', 'BB', 'x')")
+        result = session.execute_one(
+            "UPDATE booking SET day = 'y' WHERE visitor_id = 1"
+        )
+        assert result.rowcount == 1
+
+    def test_update_fk_rechecked(self, session):
+        session.execute("INSERT INTO booking VALUES (1, 'RF', 'BB', 'x')")
+        with pytest.raises(ReferentialIntegrityViolation):
+            session.execute("UPDATE booking SET tour_id = 'ZZ' "
+                            "WHERE visitor_id = 1")
+
+    def test_delete_rowcount(self, session):
+        result = session.execute_one("DELETE FROM tour WHERE tour_id = 'BRT'")
+        assert result.rowcount == 2
+
+
+class TestTransactions:
+    def test_commit(self, session):
+        session.execute("BEGIN; INSERT INTO booking VALUES (1,'RF','BB','x'); COMMIT;")
+        assert session.execute_one("SELECT COUNT(*) FROM booking").rows == [(1,)]
+
+    def test_rollback(self, session):
+        session.execute("BEGIN")
+        session.execute("INSERT INTO booking VALUES (1,'RF','BB','x')")
+        session.execute("DELETE FROM tour WHERE tour_id = 'BRT'")
+        session.execute("ROLLBACK")
+        assert session.execute_one("SELECT COUNT(*) FROM booking").rows == [(0,)]
+        assert session.execute_one("SELECT COUNT(*) FROM tour").rows == [(5,)]
+
+    def test_commit_without_begin(self, session):
+        with pytest.raises(TransactionError):
+            session.execute("COMMIT")
+        with pytest.raises(TransactionError):
+            session.execute("ROLLBACK")
+
+
+class TestAdmin:
+    def test_show_tables(self, session):
+        result = session.execute_one("SHOW TABLES")
+        names = {row[0] for row in result.rows}
+        assert names == {"tour", "booking"}
+
+    def test_describe(self, session):
+        result = session.execute_one("DESCRIBE booking")
+        assert ("visitor_id", "integer", "NO", "NULL") in result.rows
+        assert "FOREIGN KEY" in result.message or "fk_booking" in result.message

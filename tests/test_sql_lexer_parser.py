@@ -1,0 +1,239 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.constraints import MatchSemantics, ReferentialAction
+from repro.core import IndexStructure
+from repro.errors import QueryError
+from repro.indexes.definition import IndexKind
+from repro.nulls import NULL
+from repro.query.predicate import And, Cmp, Eq, IsNotNull, IsNull, Not, Or
+from repro.sql import parse, parse_one
+from repro.sql import ast
+from repro.sql.lexer import TokenType, tokenize
+from repro.storage.schema import DataType
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:3])
+        assert all(t.value == "select" for t in tokens[:3])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "MyTable"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [t.value for t in tokens[:2]] == ["42", "3.14"]
+
+    def test_string_with_escape(self):
+        tokens = tokenize("'O''Reilly'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "O'Reilly"
+
+    def test_operators(self):
+        tokens = tokenize("= < > <= >= <> !=")
+        assert [t.value for t in tokens[:-1]] == ["=", "<", ">", "<=", ">=",
+                                                  "<>", "!="]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("select -- a comment\n 1")
+        assert [t.value for t in tokens[:-1]] == ["select", "1"]
+
+    def test_stray_character(self):
+        with pytest.raises(QueryError):
+            tokenize("select @")
+
+    def test_end_token(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+
+class TestParseCreateTable:
+    def test_basic(self):
+        stmt = parse_one(
+            "CREATE TABLE t (a INTEGER NOT NULL, b TEXT DEFAULT 'x', c FLOAT)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.name == "t"
+        assert stmt.columns[0] == ast.ColumnDef("a", DataType.INTEGER, False, None)
+        assert stmt.columns[1].default == "x"
+        assert stmt.columns[2].dtype is DataType.FLOAT
+
+    def test_varchar_length_ignored(self):
+        stmt = parse_one("CREATE TABLE t (a VARCHAR(80))")
+        assert stmt.columns[0].dtype is DataType.TEXT
+
+    def test_primary_key_and_unique(self):
+        stmt = parse_one(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a), UNIQUE (b))"
+        )
+        assert stmt.primary_key == ("a",)
+        assert stmt.unique_keys == (("b",),)
+
+    def test_duplicate_primary_key_rejected(self):
+        with pytest.raises(QueryError):
+            parse_one("CREATE TABLE t (a INT, PRIMARY KEY (a), PRIMARY KEY (a))")
+
+    def test_foreign_key_full_clause(self):
+        stmt = parse_one("""
+            CREATE TABLE c (f1 INT, f2 INT,
+                FOREIGN KEY (f1, f2) REFERENCES p (k1, k2)
+                MATCH PARTIAL ON DELETE CASCADE ON UPDATE RESTRICT
+                WITH STRUCTURE hybrid)
+        """)
+        clause = stmt.foreign_keys[0]
+        assert clause.fk_columns == ("f1", "f2")
+        assert clause.parent_table == "p"
+        assert clause.match is MatchSemantics.PARTIAL
+        assert clause.on_delete is ReferentialAction.CASCADE
+        assert clause.on_update is ReferentialAction.RESTRICT
+        assert clause.structure is IndexStructure.HYBRID
+
+    def test_foreign_key_defaults(self):
+        stmt = parse_one(
+            "CREATE TABLE c (f INT, FOREIGN KEY (f) REFERENCES p (k))"
+        )
+        clause = stmt.foreign_keys[0]
+        assert clause.match is MatchSemantics.SIMPLE
+        assert clause.on_delete is ReferentialAction.SET_NULL
+        assert clause.structure is IndexStructure.BOUNDED
+
+    def test_action_variants(self):
+        for text, action in [
+            ("SET NULL", ReferentialAction.SET_NULL),
+            ("SET DEFAULT", ReferentialAction.SET_DEFAULT),
+            ("NO ACTION", ReferentialAction.NO_ACTION),
+            ("RESTRICT", ReferentialAction.RESTRICT),
+            ("CASCADE", ReferentialAction.CASCADE),
+        ]:
+            stmt = parse_one(
+                f"CREATE TABLE c (f INT, FOREIGN KEY (f) REFERENCES p (k) "
+                f"ON DELETE {text})"
+            )
+            assert stmt.foreign_keys[0].on_delete is action
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(QueryError, match="unknown index structure"):
+            parse_one("CREATE TABLE c (f INT, FOREIGN KEY (f) REFERENCES p (k) "
+                      "WITH STRUCTURE zigzag)")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(QueryError):
+            parse_one("CREATE TABLE t (PRIMARY KEY (a))")
+
+
+class TestParseOtherDdl:
+    def test_create_index(self):
+        stmt = parse_one("CREATE INDEX by_a ON t (a, b) USING HASH")
+        assert stmt == ast.CreateIndex("by_a", "t", ("a", "b"),
+                                       IndexKind.HASH, False)
+
+    def test_create_unique_index(self):
+        stmt = parse_one("CREATE UNIQUE INDEX u ON t (a)")
+        assert stmt.unique
+
+    def test_drop_table_and_index(self):
+        assert parse_one("DROP TABLE t") == ast.DropTable("t")
+        assert parse_one("DROP INDEX i ON t") == ast.DropIndex("i", "t")
+
+
+class TestParseDml:
+    def test_insert_positional(self):
+        stmt = parse_one("INSERT INTO t VALUES (1, 'x', NULL), (2, 'y', 3.5)")
+        assert stmt.columns is None
+        assert stmt.rows == ((1, "x", NULL), (2, "y", 3.5))
+
+    def test_insert_named(self):
+        stmt = parse_one("INSERT INTO t (a, b) VALUES (1, TRUE)")
+        assert stmt.columns == ("a", "b")
+        assert stmt.rows == ((1, True),)
+
+    def test_update(self):
+        stmt = parse_one("UPDATE t SET a = 1, b = NULL WHERE c = 2")
+        assert stmt.assignments == (("a", 1), ("b", NULL))
+        assert isinstance(stmt.where, Eq)
+
+    def test_delete(self):
+        stmt = parse_one("DELETE FROM t WHERE a IS NULL")
+        assert isinstance(stmt.where, IsNull)
+
+    def test_delete_no_where(self):
+        assert parse_one("DELETE FROM t").where is None
+
+
+class TestParseSelect:
+    def test_star(self):
+        stmt = parse_one("SELECT * FROM t")
+        assert stmt.columns is None and not stmt.count_star
+
+    def test_columns_and_limit(self):
+        stmt = parse_one("SELECT a, b FROM t LIMIT 5")
+        assert stmt.columns == ("a", "b")
+        assert stmt.limit == 5
+
+    def test_count_star(self):
+        stmt = parse_one("SELECT COUNT(*) FROM t")
+        assert stmt.count_star
+
+    def test_explain(self):
+        stmt = parse_one("EXPLAIN SELECT * FROM t WHERE a = 1")
+        assert stmt.explain
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryError):
+            parse_one("SELECT * FROM t LIMIT 'x'")
+
+
+class TestParseWhere:
+    def where(self, text):
+        return parse_one(f"SELECT * FROM t WHERE {text}").where
+
+    def test_precedence_and_over_or(self):
+        pred = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(pred, Or)
+        assert isinstance(pred.children[1], And)
+
+    def test_parentheses(self):
+        pred = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(pred, And)
+        assert isinstance(pred.children[0], Or)
+
+    def test_not(self):
+        pred = self.where("NOT a = 1")
+        assert isinstance(pred, Not)
+
+    def test_is_null_forms(self):
+        assert isinstance(self.where("a IS NULL"), IsNull)
+        assert isinstance(self.where("a IS NOT NULL"), IsNotNull)
+
+    def test_comparisons(self):
+        assert isinstance(self.where("a < 5"), Cmp)
+        assert self.where("a <> 5").op == "!="
+        assert self.where("a != 5").op == "!="
+
+    def test_eq_null_rejected(self):
+        with pytest.raises(QueryError, match="IS NULL"):
+            self.where("a = NULL")
+
+
+class TestBatches:
+    def test_multiple_statements(self):
+        statements = parse("BEGIN; COMMIT; ROLLBACK; SHOW TABLES; "
+                           "DESCRIBE t; CHECK DATABASE;")
+        kinds = [type(s).__name__ for s in statements]
+        assert kinds == ["Begin", "Commit", "Rollback", "ShowTables",
+                         "Describe", "CheckDatabase"]
+
+    def test_trailing_semicolons_ok(self):
+        assert len(parse(";;SELECT * FROM t;;")) == 1
+
+    def test_parse_one_rejects_batches(self):
+        with pytest.raises(QueryError):
+            parse_one("BEGIN; COMMIT")
+
+    def test_missing_semicolon_between_statements(self):
+        with pytest.raises(QueryError):
+            parse("SELECT * FROM t SELECT * FROM u")

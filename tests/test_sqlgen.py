@@ -1,0 +1,127 @@
+"""Unit tests for the MySQL trigger-DDL generator (§6.1)."""
+
+import re
+
+import pytest
+
+from repro import Column, Database, ForeignKey, MatchSemantics, ReferentialAction
+from repro.core.states import total_state_count
+from repro.triggers import sqlgen
+
+
+def make_fk(n=3, on_delete=ReferentialAction.SET_NULL):
+    db = Database()
+    keys = tuple(f"k{i + 1}" for i in range(n))
+    fks = tuple(f"f{i + 1}" for i in range(n))
+    db.create_table("ps", [Column(k, nullable=False) for k in keys])
+    db.create_table("cs", [Column(f) for f in fks])
+    fk = ForeignKey("fk", "cs", fks, "ps", keys,
+                    match=MatchSemantics.PARTIAL, on_delete=on_delete)
+    db.add_foreign_key(fk)
+    return fk
+
+
+class TestChildInsertTrigger:
+    def test_structure(self):
+        sql = sqlgen.child_insert_trigger_sql(make_fk(3))
+        assert sql.startswith("CREATE TRIGGER fk_child_ins")
+        assert "BEFORE INSERT ON cs FOR EACH ROW" in sql
+        assert "signal sqlstate '02000'" in sql
+        assert "No reference is found, enter a valid value" in sql
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_one_branch_per_state(self, n):
+        """The paper: 'similar for all 2^n - 1 possible states'."""
+        sql = sqlgen.child_insert_trigger_sql(make_fk(n))
+        branches = sql.count("select * from ps")
+        assert branches == total_state_count(n)  # 2^n - 1 probes
+
+    def test_total_branch_probes_all_columns(self):
+        sql = sqlgen.child_insert_trigger_sql(make_fk(3))
+        assert "k1 = new.f1 and k2 = new.f2 and k3 = new.f3" in sql
+
+    def test_partial_branch_probes_total_columns_only(self):
+        sql = sqlgen.child_insert_trigger_sql(make_fk(3))
+        # the state where f2 is null probes k1 and k3 only
+        assert re.search(
+            r"new\.f1 is not null and new\.f2 is null and new\.f3 is not null",
+            sql,
+        )
+        assert "k1 = new.f1 and k3 = new.f3" in sql
+
+    def test_limit_1_probes(self):
+        sql = sqlgen.child_insert_trigger_sql(make_fk(3))
+        assert sql.count("LIMIT 1") == total_state_count(3)
+
+
+class TestParentDeleteTrigger:
+    def test_structure(self):
+        sql = sqlgen.parent_delete_trigger_sql(make_fk(3))
+        assert "AFTER DELETE ON ps FOR EACH ROW" in sql
+        assert sql.rstrip().endswith("End;")
+
+    def test_exact_children_actioned_first(self):
+        sql = sqlgen.parent_delete_trigger_sql(make_fk(3))
+        first_update = sql.index("update cs set")
+        first_if = sql.index("If exists")
+        assert first_update < first_if
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_one_block_per_partial_state(self, n):
+        sql = sqlgen.parent_delete_trigger_sql(make_fk(n))
+        assert sql.count("If exists") == total_state_count(n) - 1
+
+    def test_set_null_action(self):
+        sql = sqlgen.parent_delete_trigger_sql(make_fk(2))
+        assert "set f1 = null, f2 = null" in sql
+
+    def test_cascade_action(self):
+        sql = sqlgen.parent_delete_trigger_sql(
+            make_fk(2, on_delete=ReferentialAction.CASCADE)
+        )
+        assert "delete from cs where" in sql
+        assert "update cs set" not in sql
+
+    def test_set_default_action(self):
+        sql = sqlgen.parent_delete_trigger_sql(
+            make_fk(2, on_delete=ReferentialAction.SET_DEFAULT)
+        )
+        assert "default(f1)" in sql
+
+    def test_alternative_parent_probe_present(self):
+        sql = sqlgen.parent_delete_trigger_sql(make_fk(3))
+        assert "not exists (select * from ps" in sql
+        assert "k1 = old.k1" in sql
+
+
+class TestUpdateTriggers:
+    def test_child_update_mirrors_insert(self):
+        fk = make_fk(3)
+        ins = sqlgen.child_insert_trigger_sql(fk)
+        upd = sqlgen.child_update_trigger_sql(fk)
+        assert "BEFORE UPDATE ON cs" in upd
+        assert upd.count("LIMIT 1") == ins.count("LIMIT 1")
+
+    def test_parent_update_guarded_by_key_change(self):
+        sql = sqlgen.parent_update_trigger_sql(make_fk(2))
+        assert "AFTER UPDATE ON ps" in sql
+        assert "<=>" in sql  # null-safe key-change guard
+
+    def test_all_trigger_sql(self):
+        fk = make_fk(2)
+        sqls = sqlgen.all_trigger_sql(fk)
+        assert set(sqls) == {
+            "fk_child_ins", "fk_child_upd", "fk_parent_del", "fk_parent_upd",
+        }
+        for name, sql in sqls.items():
+            assert name in sql
+
+
+class TestGeneratorScalesToFive:
+    def test_five_column_trigger_sizes(self):
+        """sqlkeys.info generated triggers 'up to size five' (§6.1)."""
+        fk = make_fk(5)
+        ins = sqlgen.child_insert_trigger_sql(fk)
+        dele = sqlgen.parent_delete_trigger_sql(fk)
+        assert ins.count("Elseif") == 30  # 31 states, first is If
+        assert dele.count("If exists") == 30

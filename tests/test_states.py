@@ -1,0 +1,106 @@
+"""Unit tests for the null-state lattice (paper §3, Example 2)."""
+
+from math import comb
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.states import (
+    apply_state,
+    count_states,
+    is_substate,
+    iter_null_states,
+    sargable_states_with_prefix_indexes,
+    state_of,
+    substates,
+    total_state_count,
+)
+from repro.nulls import NULL
+
+
+class TestStateBasics:
+    def test_state_of(self):
+        assert state_of((1, NULL, 3)) == (1,)
+        assert state_of((NULL, NULL)) == (0, 1)
+        assert state_of((1, 2)) == ()
+
+    def test_apply_state_example2(self):
+        """Example 2: the seven states of key value (1, 2, 3)."""
+        key = (1, 2, 3)
+        states = list(iter_null_states(3))
+        produced = {apply_state(key, s) for s in states}
+        assert produced == {
+            (NULL, 2, 3), (1, NULL, 3), (1, 2, NULL),
+            (NULL, NULL, 3), (NULL, 2, NULL), (1, NULL, NULL),
+            (NULL, NULL, NULL),
+        }
+
+    def test_apply_state_roundtrip(self):
+        key = (5, 6, 7, 8)
+        for state in iter_null_states(4, include_total=True):
+            assert state_of(apply_state(key, state)) == state
+
+    def test_counts(self):
+        assert total_state_count(3) == 7
+        assert total_state_count(5) == 31
+        for n in range(1, 6):
+            for u in range(n + 1):
+                assert count_states(n, u) == comb(n, u)
+
+    def test_iter_null_states_default(self):
+        states = list(iter_null_states(3))
+        assert len(states) == 7
+        assert () not in states
+        assert (0, 1, 2) in states
+
+    def test_iter_flags(self):
+        with_total = list(iter_null_states(3, include_total=True))
+        assert () in with_total and len(with_total) == 8
+        partial_only = list(iter_null_states(3, include_total=False,
+                                             include_all_null=False))
+        assert len(partial_only) == 6
+
+    def test_fewest_nulls_first(self):
+        states = list(iter_null_states(4))
+        sizes = [len(s) for s in states]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(iter_null_states(0))
+
+
+class TestSubstates:
+    def test_substates_extend_nulls(self):
+        subs = set(substates((0,), 3))
+        assert subs == {(0, 1), (0, 2), (0, 1, 2)}
+
+    def test_is_substate(self):
+        assert is_substate((0, 1), (0,))
+        assert not is_substate((1,), (0,))
+        assert is_substate((0,), (0,))
+
+    @given(st.integers(2, 5), st.data())
+    def test_substates_are_substates(self, n, data):
+        all_states = list(iter_null_states(n, include_all_null=False))
+        state = data.draw(st.sampled_from(all_states))
+        for sub in substates(state, n):
+            assert is_substate(sub, state)
+            assert len(sub) > len(state)
+
+
+class TestPrefixCompoundCoverage:
+    def test_paper_claim_21_of_31(self):
+        """§9: 2x5 compound indices support only 21 of 31 match queries."""
+        assert sargable_states_with_prefix_indexes(5) == 21
+        assert total_state_count(5) == 31
+
+    def test_small_n_fully_covered(self):
+        # for n <= 3 every subset is a circular arc
+        assert sargable_states_with_prefix_indexes(2) == 3
+        assert sargable_states_with_prefix_indexes(3) == 7
+
+    def test_n4(self):
+        # circular arcs of a 4-cycle: 4+4+4+1 = 13 of 15
+        assert sargable_states_with_prefix_indexes(4) == 13

@@ -1,0 +1,139 @@
+"""Unit tests for transactions (undo-log rollback, §7.4 substrate)."""
+
+import pytest
+
+from repro import Column, Database, ForeignKey, MatchSemantics
+from repro.errors import TransactionError
+from repro.indexes.definition import IndexDefinition
+from repro.nulls import NULL
+from repro.query import dml
+from repro.query.predicate import Eq
+
+
+def make_db() -> Database:
+    db = Database()
+    t = db.create_table("t", [Column("a"), Column("b")])
+    t.create_index(IndexDefinition("by_a", ("a",)))
+    for i in range(5):
+        t.insert_row((i, i * 10))
+    return db
+
+
+def snapshot(db: Database):
+    t = db.table("t")
+    return sorted(t.heap.scan()), sorted(t.indexes.get("by_a").scan_all())
+
+
+class TestLifecycle:
+    def test_commit_keeps_changes(self):
+        db = make_db()
+        with db.begin():
+            dml.insert(db, "t", (9, 90))
+        assert db.exists("t", Eq("a", 9))
+        assert db.active_transaction is None
+
+    def test_rollback_on_exception(self):
+        db = make_db()
+        before = snapshot(db)
+        with pytest.raises(RuntimeError):
+            with db.begin():
+                dml.insert(db, "t", (9, 90))
+                dml.delete_where(db, "t", Eq("a", 1))
+                dml.update_where(db, "t", {"b": 0}, Eq("a", 2))
+                raise RuntimeError("boom")
+        assert snapshot(db) == before
+
+    def test_explicit_rollback(self):
+        db = make_db()
+        before = snapshot(db)
+        txn = db.begin()
+        dml.insert(db, "t", (9, 90))
+        txn.rollback()
+        assert snapshot(db) == before
+
+    def test_nested_begin_rejected(self):
+        db = make_db()
+        with db.begin():
+            with pytest.raises(TransactionError):
+                db.begin()
+
+    def test_closed_transaction_rejects_ops(self):
+        db = make_db()
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+        with pytest.raises(TransactionError):
+            txn.rollback()
+        with pytest.raises(TransactionError):
+            txn.log(("insert", "t", 0, (0, 0)))
+
+    def test_explicit_commit_inside_with(self):
+        db = make_db()
+        with db.begin() as txn:
+            dml.insert(db, "t", (9, 90))
+            txn.commit()
+        assert db.exists("t", Eq("a", 9))
+
+    def test_len_counts_mutations(self):
+        db = make_db()
+        txn = db.begin()
+        dml.insert(db, "t", (9, 90))
+        dml.update_where(db, "t", {"b": 1}, Eq("a", 9))
+        assert len(txn) == 2
+        txn.rollback()
+
+
+class TestRollbackRestoresEverything:
+    def test_rollback_restores_rids(self):
+        db = make_db()
+        t = db.table("t")
+        rids_before = t.heap.rids()
+        with pytest.raises(RuntimeError):
+            with db.begin():
+                dml.delete_where(db, "t", Eq("a", 0))
+                dml.insert(db, "t", (100, 1))
+                raise RuntimeError
+        assert t.heap.rids() == rids_before
+
+    def test_rollback_restores_statistics(self):
+        db = make_db()
+        t = db.table("t")
+        freq_before = t.statistics.columns[0].frequency(0)
+        with pytest.raises(RuntimeError):
+            with db.begin():
+                dml.delete_where(db, "t", Eq("a", 0))
+                raise RuntimeError
+        assert t.statistics.columns[0].frequency(0) == freq_before
+
+    def test_rollback_of_referential_action_cascade(self):
+        """Rolling back a parent delete must also restore the SET NULL
+        updates its enforcement applied to children."""
+        db = Database()
+        db.create_table("p", [Column("k", nullable=False)])
+        db.create_table("c", [Column("f")])
+        fk = ForeignKey("fk", "c", ("f",), "p", ("k",),
+                        match=MatchSemantics.SIMPLE)
+        db.add_foreign_key(fk)
+        dml.insert(db, "p", (1,))
+        dml.insert(db, "c", (1,))
+        with pytest.raises(RuntimeError):
+            with db.begin():
+                dml.delete_where(db, "p", Eq("k", 1))
+                assert db.select("c") == [(NULL,)]
+                raise RuntimeError
+        assert db.select("c") == [(1,)]
+        assert db.select("p") == [(1,)]
+
+    def test_interleaved_batch(self):
+        db = make_db()
+        before = snapshot(db)
+        with pytest.raises(RuntimeError):
+            with db.begin():
+                for i in range(20):
+                    dml.insert(db, "t", (i + 50, i))
+                dml.delete_where(db, "t", Eq("a", 2))
+                dml.update_where(db, "t", {"a": 77}, Eq("a", 3))
+                dml.delete_where(db, "t", Eq("a", 77))
+                raise RuntimeError
+        assert snapshot(db) == before

@@ -1,0 +1,231 @@
+"""Unit tests for the workload generators (§7.1, §8)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.constraints import check_database, satisfies_partial_semantics
+from repro.core.states import state_of
+from repro.errors import SchemaError
+from repro.nulls import NULL, is_total
+from repro.workloads import (
+    GeneOntologyConfig,
+    SyntheticConfig,
+    TpccConfig,
+    TpchConfig,
+    delete_stream,
+    generate_geneontology,
+    generate_synthetic,
+    generate_tpcc,
+    generate_tpch,
+    inject_nulls,
+    insert_stream,
+    mar_probability,
+    partial_insert_stream,
+    total_insert_stream,
+)
+
+
+class TestSyntheticConfig:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            SyntheticConfig(n_columns=0)
+        with pytest.raises(SchemaError):
+            SyntheticConfig(parent_rows=0)
+        with pytest.raises(SchemaError):
+            SyntheticConfig(null_fraction=1.5)
+
+    def test_derived_sizes(self):
+        cfg = SyntheticConfig(parent_rows=1000, child_ratio=1.5)
+        assert cfg.child_rows == 1500
+        assert cfg.domain_size >= 4
+        assert cfg.key_columns == ("k1", "k2", "k3", "k4", "k5")
+
+    def test_domain_uniqueness_floor_for_small_n(self):
+        cfg = SyntheticConfig(n_columns=2, parent_rows=10_000)
+        assert cfg.domain_size**2 >= 4 * cfg.parent_rows
+
+
+class TestSyntheticGenerate:
+    def test_sizes(self):
+        ds = generate_synthetic(SyntheticConfig(n_columns=3, parent_rows=500))
+        assert ds.parent_table.row_count == 500
+        assert ds.child_table.row_count == 750
+
+    def test_parent_keys_unique_and_total(self):
+        ds = generate_synthetic(SyntheticConfig(n_columns=3, parent_rows=400))
+        keys = [ds.fk.parent_values(r) for r in ds.parent_table.rows()]
+        assert len(set(keys)) == len(keys)
+        assert all(is_total(k) for k in keys)
+
+    def test_children_satisfy_partial_semantics(self):
+        ds = generate_synthetic(SyntheticConfig(n_columns=4, parent_rows=300))
+        assert satisfies_partial_semantics(ds.db, ds.fk)
+        assert check_database(ds.db) == []
+
+    def test_null_fraction_approximate(self):
+        cfg = SyntheticConfig(n_columns=3, parent_rows=2000, null_fraction=0.5)
+        ds = generate_synthetic(cfg)
+        partial = sum(
+            1 for r in ds.child_table.rows()
+            if not is_total(ds.fk.child_values(r))
+        )
+        assert 0.4 < partial / ds.child_table.row_count < 0.6
+
+    def test_states_evenly_spread(self):
+        """§7.1: every non-empty subset gets about the same share."""
+        cfg = SyntheticConfig(n_columns=3, parent_rows=4000, null_fraction=0.7)
+        ds = generate_synthetic(cfg)
+        counts = Counter(
+            state_of(ds.fk.child_values(r))
+            for r in ds.child_table.rows()
+            if not is_total(ds.fk.child_values(r))
+        )
+        assert len(counts) == 7  # all 2^3 - 1 states occur
+        expected = sum(counts.values()) / 7
+        for state, count in counts.items():
+            assert 0.6 * expected < count < 1.4 * expected, state
+
+    def test_deterministic_by_seed(self):
+        a = generate_synthetic(SyntheticConfig(n_columns=2, parent_rows=200, seed=9))
+        b = generate_synthetic(SyntheticConfig(n_columns=2, parent_rows=200, seed=9))
+        assert a.parent_table.rows() == b.parent_table.rows()
+        assert a.child_table.rows() == b.child_table.rows()
+
+    def test_unique_parents_have_no_alternatives(self):
+        cfg = SyntheticConfig(n_columns=3, parent_rows=300,
+                              unique_parent_fraction=0.2)
+        ds = generate_synthetic(cfg)
+        assert len(ds.unique_parent_keys) == 60
+        regular_values = {
+            v for key in ds.nonunique_parent_keys for v in key
+        }
+        for key in ds.unique_parent_keys:
+            assert not (set(key) & regular_values)
+
+
+class TestOperationStreams:
+    def make(self):
+        return generate_synthetic(SyntheticConfig(n_columns=3, parent_rows=300))
+
+    def test_insert_stream_references_parents(self):
+        ds = self.make()
+        parents = set(ds.parent_keys)
+        for row in insert_stream(ds, 50):
+            fk_value = row[:3]
+            total = tuple(v for v in fk_value if v is not NULL)
+            assert any(
+                all(fk_value[i] is NULL or fk_value[i] == p[i] for i in range(3))
+                for p in parents
+            ), (fk_value, total)
+
+    def test_total_stream_is_total(self):
+        ds = self.make()
+        assert all(is_total(r[:3]) for r in total_insert_stream(ds, 30))
+
+    def test_partial_stream_is_partial_never_all_null(self):
+        ds = self.make()
+        for row in partial_insert_stream(ds, 30):
+            state = state_of(row[:3])
+            assert 0 < len(state) < 3
+
+    def test_delete_stream_unique_flags(self):
+        cfg = SyntheticConfig(n_columns=3, parent_rows=300,
+                              unique_parent_fraction=0.2)
+        ds = generate_synthetic(cfg)
+        uniq = delete_stream(ds, 10, from_unique=True)
+        assert set(uniq) <= set(ds.unique_parent_keys)
+        non = delete_stream(ds, 10, from_unique=False)
+        assert set(non) <= set(ds.nonunique_parent_keys)
+
+    def test_delete_stream_no_duplicates(self):
+        ds = self.make()
+        keys = delete_stream(ds, 100)
+        assert len(set(keys)) == 100
+
+    def test_delete_stream_overdraw_rejected(self):
+        ds = self.make()
+        with pytest.raises(SchemaError):
+            delete_stream(ds, 10_000)
+
+
+class TestMarInjection:
+    def test_probability_bounds(self):
+        for driver in range(20):
+            p = mar_probability(driver, 0.3)
+            assert 0.0 <= p <= 1.0
+            assert p in (0.3, 0.6)
+
+    def test_injection_counts_and_columns(self):
+        ds = generate_tpch(TpchConfig(parts=100, suppliers=20, lineitems=2000))
+        table = ds.db.table("lineitem")
+        injected = inject_nulls(table, ("l_partkey", "l_suppkey"), 0.2)
+        assert injected > 100
+        nulls = sum(
+            1 for r in table.rows() if r[2] is NULL or r[3] is NULL
+        )
+        assert nulls == injected
+
+    def test_injection_spread_between_columns(self):
+        ds = generate_tpch(TpchConfig(parts=100, suppliers=20, lineitems=4000))
+        table = ds.db.table("lineitem")
+        inject_nulls(table, ("l_partkey", "l_suppkey"), 0.3)
+        c1 = sum(1 for r in table.rows() if r[2] is NULL)
+        c2 = sum(1 for r in table.rows() if r[3] is NULL)
+        assert 0.5 < c1 / c2 < 2.0
+
+    def test_injection_skips_not_null_columns(self):
+        ds = generate_tpcc(TpccConfig(warehouses=1, districts_per_warehouse=2,
+                                      customers_per_district=10))
+        orders = ds.db.table("orders")
+        inject_nulls(orders, ("o_w_id", "o_d_id", "o_c_id"), 0.5)
+        assert all(r[2] is not NULL for r in orders.rows())  # o_id NOT NULL
+
+    def test_rate_zero_injects_nothing(self):
+        ds = generate_tpch(TpchConfig(parts=50, suppliers=20, lineitems=500))
+        assert inject_nulls(ds.db.table("lineitem"),
+                            ("l_partkey", "l_suppkey"), 0.0) == 0
+
+    def test_bad_rate_rejected(self):
+        ds = generate_tpch(TpchConfig(parts=50, suppliers=20, lineitems=100))
+        with pytest.raises(ValueError):
+            inject_nulls(ds.db.table("lineitem"), ("l_partkey",), 2.0)
+
+
+class TestBenchmarkGenerators:
+    def test_tpch_topology(self):
+        ds = generate_tpch(TpchConfig(parts=100, suppliers=20, lineitems=1000))
+        assert ds.db.table("partsupp").row_count == 400  # 4 suppliers/part
+        assert ds.db.table("lineitem").row_count == 1000
+        assert check_database(ds.db) == []
+
+    def test_tpch_partsupp_keys_unique(self):
+        ds = generate_tpch(TpchConfig(parts=100, suppliers=20, lineitems=100))
+        assert len(set(ds.partsupp_keys)) == len(ds.partsupp_keys)
+
+    def test_tpcc_topology(self):
+        cfg = TpccConfig(warehouses=2, districts_per_warehouse=3,
+                         customers_per_district=5, lines_per_order=4)
+        ds = generate_tpcc(cfg)
+        assert ds.db.table("customer").row_count == 30
+        assert ds.db.table("orders").row_count == 30
+        assert ds.db.table("orderline").row_count == 120
+        assert check_database(ds.db) == []
+
+    def test_tpcc_fks_declared(self):
+        ds = generate_tpcc(TpccConfig(warehouses=1, districts_per_warehouse=1,
+                                      customers_per_district=5))
+        assert ds.fk_orders_customer.n_columns == 3
+        assert ds.fk_orderline_orders.n_columns == 3
+
+    def test_geneontology_topology(self):
+        cfg = GeneOntologyConfig(terms=200, edges=500, metadata_fraction=0.5)
+        ds = generate_geneontology(cfg)
+        assert ds.db.table("term2term").row_count == 500
+        assert ds.db.table("term2term_metadata").row_count == 250
+        assert check_database(ds.db) == []
+
+    def test_geneontology_acyclic_edges(self):
+        ds = generate_geneontology(GeneOntologyConfig(terms=100, edges=300))
+        for __, t1, t2 in ds.edge_keys:
+            assert t1 < t2  # parents have smaller ids: no cycles
