@@ -64,12 +64,27 @@ from .errors import (
     ReferentialIntegrityViolation,
     ReproError,
     RestrictViolation,
+    SimulatedCrash,
+    TransientFault,
+    WalError,
 )
 from .indexes import IndexDefinition, IndexKind
 from .nulls import NULL, is_subsumed_by, is_total
 from .query import ALWAYS, And, Cmp, Eq, IsNotNull, IsNull, Not, Or, equalities
 from .sql import SqlSession
-from .storage import Column, Database, DataType, Table, TableSchema
+from .storage import (
+    Column,
+    Database,
+    DataType,
+    IntegrityReport,
+    RecoveryReport,
+    Table,
+    TableSchema,
+    WriteAheadLog,
+    recover,
+    simulate_crash,
+    verify_integrity,
+)
 
 __version__ = "1.0.0"
 
@@ -93,6 +108,9 @@ __all__ = [
     "ReferentialIntegrityViolation",
     "ReproError",
     "RestrictViolation",
+    "SimulatedCrash",
+    "TransientFault",
+    "WalError",
     "IndexDefinition",
     "IndexKind",
     "NULL",
@@ -111,7 +129,13 @@ __all__ = [
     "Column",
     "Database",
     "DataType",
+    "IntegrityReport",
+    "RecoveryReport",
     "Table",
     "TableSchema",
+    "WriteAheadLog",
+    "recover",
+    "simulate_crash",
+    "verify_integrity",
     "__version__",
 ]

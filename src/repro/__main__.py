@@ -7,6 +7,9 @@ Commands:
 * ``advisor N ROWS``      — rank index structures for an N-column FK
 * ``experiment ID``       — run one reproduction experiment (table1, fig9, ...)
 * ``experiments``         — list available experiment ids
+* ``verify``              — build the demo database, run a workload under
+                            the write-ahead log, and print the integrity
+                            report (heap ↔ index ↔ statistics ↔ constraints)
 """
 
 from __future__ import annotations
@@ -119,6 +122,35 @@ def _list_experiments() -> int:
     return 0
 
 
+def _run_verify() -> int:
+    from .sql import SqlSession
+    from .storage.wal import WriteAheadLog
+
+    session = SqlSession()
+    db = session.db
+    db.attach_wal(WriteAheadLog())
+    session.execute("""
+        CREATE TABLE tour (tour_id TEXT NOT NULL, site_code TEXT NOT NULL,
+            site_name TEXT, PRIMARY KEY (tour_id, site_code));
+        CREATE TABLE booking (visitor_id INTEGER NOT NULL, tour_id TEXT,
+            site_code TEXT, day TEXT,
+            FOREIGN KEY (tour_id, site_code)
+                REFERENCES tour (tour_id, site_code)
+                MATCH PARTIAL ON DELETE SET NULL WITH STRUCTURE bounded);
+        INSERT INTO tour VALUES ('GCG','OR','O''Reilly''s'),
+            ('BRT','OR','O''Reilly''s'), ('BRT','MV','Movie World'),
+            ('RF','BB','Binna Burra'), ('RF','OR','O''Reilly''s');
+        INSERT INTO booking VALUES (1001,'BRT','OR','Nov 21'),
+            (1008, NULL, 'BB', 'Sep 5'), (1011, 'RF', NULL, 'Oct 5');
+        DELETE FROM tour WHERE tour_id = 'BRT' AND site_code = 'MV';
+    """)
+    report = db.verify_integrity()
+    print(report.render())
+    print(f"wal: {len(db.wal)} durable records, "
+          f"{db.wal.flush_count} flushes")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
@@ -135,6 +167,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_experiment(rest[0])
     if command == "experiments":
         return _list_experiments()
+    if command == "verify":
+        return _run_verify()
     print(f"unknown command {command!r}", file=sys.stderr)
     print(__doc__)
     return 1

@@ -31,6 +31,7 @@ from ..errors import ReferentialIntegrityViolation
 from ..nulls import NULL
 from ..query import dml, probes
 from ..query.predicate import equalities
+from ..testing.faults import fire
 from ..triggers.partial_ri import _suspended_child_checks, _suspended_parent_triggers
 from .states import iter_null_states, state_of
 
@@ -69,6 +70,7 @@ def batch_insert_children(
             continue
         columns = [fk.key_columns[i] for i, __ in totals]
         values = [v for __, v in totals]
+        fire("batch.probe")
         db.tracker.count("state_checks")
         if not probes.exists_eq(parent, columns, values):
             raise ReferentialIntegrityViolation(
@@ -82,9 +84,16 @@ def batch_insert_children(
     def run() -> None:
         # The batch is already verified; suspend the per-row checks so
         # the probes are not repeated (that is the whole optimisation).
+        # Each row gets its own nested scope (savepoint inside a
+        # transaction, tiny transaction outside one): a row that fails a
+        # remaining per-row check — another foreign key, a candidate key
+        # — unwinds only its own writes, leaving the earlier rows fully
+        # indexed whatever the caller decides to do with the error.
         with _suspended_child_checks(db, fk):
             for row in validated:
-                rids.append(dml.insert(db, fk.child_table, row))
+                fire("batch.insert_row")
+                with db.begin_nested():
+                    rids.append(dml.insert(db, fk.child_table, row))
 
     if atomic and db.active_transaction is None:
         with db.begin():
@@ -140,9 +149,9 @@ def _shared_state_loop(
             continue
         seen_exact.add(key)
         if probes.exists_eq(child, fk.fk_columns, key):
-            from ..query.enforcement import _apply_action
+            from ..query.enforcement import _apply_action_scoped
 
-            _apply_action(db, fk, fk.exact_child_predicate(key), fk.on_delete)
+            _apply_action_scoped(db, fk, fk.exact_child_predicate(key), fk.on_delete)
 
     # Partial states, deduplicated across the batch: two deleted parents
     # sharing values on a state's total columns need only one probe.
@@ -156,6 +165,7 @@ def _shared_state_loop(
             if signature in probed:
                 continue
             probed.add(signature)
+            fire("batch.state_loop")
             db.tracker.count("state_checks")
             if not probes.exists_eq(
                 child,
@@ -170,8 +180,8 @@ def _shared_state_loop(
                 list(totals),
             ):
                 continue
-            from ..query.enforcement import _apply_action
+            from ..query.enforcement import _apply_action_scoped
 
-            _apply_action(
+            _apply_action_scoped(
                 db, fk, fk.child_state_predicate(key, state), fk.on_delete
             )

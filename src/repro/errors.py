@@ -38,6 +38,28 @@ class TransactionError(ReproError):
     """A transaction operation was used incorrectly (e.g. nested begin)."""
 
 
+class WalError(ReproError):
+    """A write-ahead-log operation was used incorrectly (unknown
+    transaction, recovery without a checkpoint...)."""
+
+
+class TransientFault(ReproError):
+    """An injected transient failure (the fault-injection analogue of a
+    lock timeout or lost page write).  Retryable: callers are expected to
+    roll back and retry under :func:`repro.testing.faults.retry_transient`."""
+
+
+class SimulatedCrash(BaseException):
+    """An injected crash: the process 'dies' at a fault point.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so
+    that ``except Exception`` cleanup handlers along the unwind path do
+    not run — a real crash gives in-memory state no chance to tidy up.
+    Only the crash harness catches this; recovery then proceeds from the
+    write-ahead log.
+    """
+
+
 class IntegrityError(ReproError):
     """Base class for integrity-constraint violations."""
 

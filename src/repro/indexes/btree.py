@@ -27,6 +27,7 @@ from collections.abc import Iterator
 from typing import Any
 
 from ..errors import IndexError_
+from ..testing.faults import fire
 from .cost import CostTracker
 from .keys import EncodedKey
 
@@ -124,6 +125,11 @@ class BPlusTree:
         pos = bisect_left(leaf.entries, entry)
         if pos < len(leaf.entries) and leaf.entries[pos] == entry:
             raise IndexError_(f"duplicate index entry {entry!r}")
+        if len(leaf.entries) >= self._order:
+            # The fault point fires before the leaf mutates so an injected
+            # exception leaves this index untouched (a crash here still
+            # tears heap against index: the heap row is already written).
+            fire("btree.split")
         leaf.entries.insert(pos, entry)
         self._size += 1
         if len(leaf.entries) > self._order:
@@ -173,6 +179,8 @@ class BPlusTree:
         pos = bisect_left(leaf.entries, entry)
         if pos >= len(leaf.entries) or leaf.entries[pos] != entry:
             raise IndexError_(f"index entry not found: {entry!r}")
+        if len(leaf.entries) == 1 and leaf is not self._root:
+            fire("btree.unlink")  # pre-mutation, as for "btree.split"
         del leaf.entries[pos]
         self._size -= 1
         if not leaf.entries:

@@ -15,7 +15,7 @@ from .predicate import (
     TruePredicate,
     equalities,
 )
-from .transaction import Transaction
+from .transaction import Savepoint, SavepointScope, Transaction
 
 __all__ = [
     "explain",
@@ -33,5 +33,7 @@ __all__ = [
     "Predicate",
     "TruePredicate",
     "equalities",
+    "Savepoint",
+    "SavepointScope",
     "Transaction",
 ]

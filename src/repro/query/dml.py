@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any
 from ..constraints.foreign_key import EnforcementMode
 from ..errors import QueryError
 from ..storage.heap import Row
+from ..testing.faults import fire
 from ..triggers.framework import TriggerEvent
 from . import enforcement, executor
 from .predicate import Predicate
@@ -40,6 +41,11 @@ def _log_undo(db: "Database", entry: tuple) -> None:
     txn = db.active_transaction
     if txn is not None:
         txn.log(entry)
+    else:
+        wal = db.wal
+        if wal is not None:
+            # Auto-commit: each statement is its own tiny transaction.
+            wal.log_autocommit(entry)
 
 
 # ----------------------------------------------------------------------
@@ -62,8 +68,10 @@ def insert(db: "Database", table_name: str, values: Sequence[Any] | Mapping[str,
         if fk.enforcement is EnforcementMode.NATIVE:
             enforcement.check_child_write(db, fk, row)
 
+    fire("dml.insert.pre")
     rid = table.insert_row(row)
     _log_undo(db, ("insert", table_name, rid, row))
+    fire("dml.insert.post")
     db.triggers.fire(db, table_name, TriggerEvent.AFTER_INSERT, None, row, rid)
     return rid
 
@@ -100,8 +108,10 @@ def delete_rid(
     for fk in native_fks:
         enforcement.restrict_parent_remove(db, fk, row)
 
+    fire("dml.delete.pre")
     table.delete_rid(rid)
     _log_undo(db, ("delete", table_name, rid, row))
+    fire("dml.delete.post")
 
     for fk in native_fks:
         enforcement.handle_parent_removed(db, fk, row)
@@ -171,8 +181,10 @@ def update_rid(
         if fk.on_update.rejects:
             enforcement.restrict_parent_remove(db, fk, old_row)
 
+    fire("dml.update.pre")
     table.update_rid(rid, new_row)
     _log_undo(db, ("update", table_name, rid, old_row, new_row))
+    fire("dml.update.post")
 
     for fk in native_parent_fks:
         enforcement.handle_parent_removed(db, fk, old_row, fk.on_update)

@@ -19,6 +19,7 @@ from ..constraints.foreign_key import ForeignKey, MatchSemantics
 from ..core.states import iter_null_states
 from ..errors import IntegrityError, ReferentialIntegrityViolation, RestrictViolation
 from ..nulls import NULL, is_total
+from ..testing.faults import fire
 from . import executor, probes
 from .predicate import Predicate
 
@@ -119,7 +120,7 @@ def handle_parent_removed(
 
     # 1. Children whose foreign key totally equals the deleted key: the
     #    referenced key is unique, so there is never an alternative.
-    affected += _apply_action(
+    affected += _apply_action_scoped(
         db, fk, fk.exact_child_predicate(parent_key), action
     )
 
@@ -130,6 +131,7 @@ def handle_parent_removed(
     child = db.table(fk.child_table)
     n = fk.n_columns
     for state in iter_null_states(n, include_total=False, include_all_null=False):
+        fire("enforce.state_probe")
         db.tracker.count("state_checks")
         state_set = set(state)
         total_positions = [i for i in range(n) if i not in state_set]
@@ -149,7 +151,7 @@ def handle_parent_removed(
             # parent row itself is already gone (AFTER DELETE), so any
             # hit is a genuine alternative.
             continue
-        affected += _apply_action(
+        affected += _apply_action_scoped(
             db, fk, fk.child_state_predicate(parent_key, state), action
         )
     return affected
@@ -182,6 +184,25 @@ def _alternative_parent_exists(
         if tuple(row) != removed_key:
             return True
     return False
+
+
+def _apply_action_scoped(
+    db: "Database", fk: ForeignKey, child_pred: Predicate, action: ReferentialAction
+) -> int:
+    """Apply one referential action under a savepoint when possible.
+
+    Inside a transaction, each step of the §6.1 state loop runs in its
+    own nested scope: a failure (or injected fault) while actioning one
+    state's children unwinds exactly that state's writes, leaving the
+    earlier states' completed work intact for the caller to keep or roll
+    back wholesale.
+    """
+    fire("enforce.apply_action")
+    txn = db.active_transaction
+    if txn is None or not txn.is_open:
+        return _apply_action(db, fk, child_pred, action)
+    with txn.savepoint():
+        return _apply_action(db, fk, child_pred, action)
 
 
 def _apply_action(

@@ -6,6 +6,25 @@ substrate: a transaction collects an undo record per physical row
 mutation and can roll the database back to its starting state.  Rollback
 bypasses triggers and constraints — it restores physical state exactly,
 including index contents and statistics.
+
+Two robustness layers sit on top of the flat undo log:
+
+* **Savepoints** — nested scopes with partial rollback
+  (:meth:`Transaction.savepoint`).  The §6.1 trigger state-loop and the
+  §9 batch paths wrap per-row / per-state work in a savepoint so one
+  failed check unwinds only its own writes.  Rolling back to a savepoint
+  emits *compensating* records to the write-ahead log, so a committed
+  transaction's log replays to exactly the state it left behind.
+* **Write-ahead logging** — when the database has a
+  :class:`~repro.storage.wal.WriteAheadLog` attached, every logged
+  mutation is mirrored into it; commit writes the durability marker.
+
+Lifecycle errors are explicit: committing twice, committing after a
+rollback, rolling back twice, or logging to a closed transaction each
+raise :class:`~repro.errors.TransactionError` naming the actual state.
+After a simulated crash (:meth:`Database.freeze_for_crash`) the
+transaction's methods become no-ops: a dead process cannot tidy up, and
+recovery owns the state from then on.
 """
 
 from __future__ import annotations
@@ -23,13 +42,82 @@ if TYPE_CHECKING:  # pragma: no cover
 #:   ("update", table, rid, old, new)      — undone by writing old back
 UndoEntry = tuple
 
+#: Lifecycle states.
+_OPEN = "open"
+_COMMITTED = "committed"
+_ROLLED_BACK = "rolled back"
+
+
+def _inverse(entry: UndoEntry) -> UndoEntry:
+    """The mutation that undoes *entry* (for WAL compensation records)."""
+    kind = entry[0]
+    if kind == "insert":
+        return ("delete",) + entry[1:]
+    if kind == "delete":
+        return ("insert",) + entry[1:]
+    if kind == "update":
+        __, table, rid, old, new = entry
+        return ("update", table, rid, new, old)
+    raise TransactionError(f"unknown undo entry {entry!r}")
+
+
+class Savepoint:
+    """A named position inside a transaction's undo log.
+
+    Obtained from :meth:`Transaction.savepoint`; usable directly or as a
+    context manager (release on success, partial rollback on error)::
+
+        with txn.savepoint():
+            risky_per_row_work()      # failure unwinds only this scope
+    """
+
+    __slots__ = ("name", "_txn", "_mark", "_active")
+
+    def __init__(self, txn: "Transaction", name: str, mark: int) -> None:
+        self.name = name
+        self._txn = txn
+        self._mark = mark
+        self._active = True
+
+    @property
+    def is_active(self) -> bool:
+        return self._active
+
+    def rollback(self) -> None:
+        """Undo everything logged since this savepoint (it stays active)."""
+        self._txn.rollback_to(self)
+
+    def release(self) -> None:
+        """Forget this savepoint without undoing anything."""
+        self._txn.release(self)
+
+    def __enter__(self) -> "Savepoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._active:
+            return False  # released / invalidated explicitly
+        if self._txn._db._crashed:
+            return False  # crashed: recovery owns the state now
+        if exc_type is None:
+            self.release()
+        else:
+            self.rollback()
+            self.release()
+        return False
+
+    def __repr__(self) -> str:
+        state = "active" if self._active else "released"
+        return f"<Savepoint {self.name} @{self._mark} ({state})>"
+
 
 class Transaction:
     """One open transaction over a database.
 
     Usable as a context manager: commits on success, rolls back when the
-    block raises.  Nested transactions are rejected (the engine models
-    MySQL's flat transactions, which the paper's experiments use).
+    block raises.  Nested ``begin`` is rejected (the engine models
+    MySQL's flat transactions, which the paper's experiments use) — use
+    :meth:`savepoint` or :meth:`Database.begin_nested` for nested scopes.
     """
 
     def __init__(self, db: "Database") -> None:
@@ -37,31 +125,96 @@ class Transaction:
             raise TransactionError("a transaction is already active")
         self._db = db
         self._undo: list[UndoEntry] = []
-        self._open = True
+        self._state = _OPEN
+        self._savepoints: list[Savepoint] = []
+        self._sp_counter = 0
+        wal = db.wal
+        self.wal_txn_id: int | None = wal.begin() if wal is not None else None
         db._active_transaction = self
 
     # ------------------------------------------------------------------
 
     @property
     def is_open(self) -> bool:
-        return self._open
+        return self._state == _OPEN
 
     def __len__(self) -> int:
         """Number of logged row mutations."""
         return len(self._undo)
 
     def log(self, entry: UndoEntry) -> None:
-        if not self._open:
-            raise TransactionError("transaction is closed")
+        if self._db._crashed:
+            return  # the process is 'dead'; nothing more gets logged
+        self._require_open("log to")
         self._undo.append(entry)
+        if self.wal_txn_id is not None:
+            self._db.wal.log_mutation(self.wal_txn_id, entry)
+
+    # ------------------------------------------------------------------
+    # Savepoints
+
+    def savepoint(self, name: str | None = None) -> Savepoint:
+        """Mark the current position for partial rollback."""
+        self._require_open("create a savepoint in")
+        if name is None:
+            self._sp_counter += 1
+            name = f"sp{self._sp_counter}"
+        sp = Savepoint(self, name, len(self._undo))
+        self._savepoints.append(sp)
+        return sp
+
+    def rollback_to(self, sp: Savepoint) -> None:
+        """Physically undo every mutation logged after *sp*.
+
+        Savepoints created after *sp* are invalidated; *sp* itself stays
+        active (SQL ``ROLLBACK TO SAVEPOINT`` semantics).  Each undone
+        mutation emits a compensating record to the write-ahead log, so
+        replaying a later commit reproduces the partial rollback.
+        """
+        self._require_open("roll back a savepoint in")
+        self._require_own_active(sp)
+        undone = self._undo[sp._mark:]
+        del self._undo[sp._mark:]
+        self._invalidate_after(sp)
+        for entry in reversed(undone):
+            self._undo_entry(entry)
+            if self.wal_txn_id is not None:
+                self._db.wal.log_mutation(self.wal_txn_id, _inverse(entry))
+
+    def release(self, sp: Savepoint) -> None:
+        """Drop *sp* (and any savepoints nested inside it); no data change."""
+        self._require_open("release a savepoint in")
+        self._require_own_active(sp)
+        self._invalidate_after(sp)
+        sp._active = False
+        self._savepoints.remove(sp)
+
+    def _require_own_active(self, sp: Savepoint) -> None:
+        if sp._txn is not self:
+            raise TransactionError(
+                f"savepoint {sp.name!r} belongs to a different transaction"
+            )
+        if not sp._active:
+            raise TransactionError(f"savepoint {sp.name!r} is no longer active")
+
+    def _invalidate_after(self, sp: Savepoint) -> None:
+        position = self._savepoints.index(sp)
+        for later in self._savepoints[position + 1:]:
+            later._active = False
+        del self._savepoints[position + 1:]
 
     # ------------------------------------------------------------------
 
     def commit(self) -> None:
         """Make the batch permanent and close the transaction."""
-        self._require_open()
+        if self._db._crashed:
+            return  # a crashed process commits nothing
+        if self._state != _OPEN:
+            raise TransactionError(f"cannot commit: transaction {self._state}")
+        if self.wal_txn_id is not None:
+            self._db.wal.commit(self.wal_txn_id)
         self._undo.clear()
-        self._close()
+        self._close(_COMMITTED)
 
     def rollback(self) -> None:
         """Physically restore every mutated row, newest first.
@@ -72,33 +225,47 @@ class Transaction:
         engine-level auxiliary structures (see
         :mod:`repro.core.engine_level`) stay synchronised.
         """
-        self._require_open()
-        observers = self._db.physical_undo_observers
+        if self._db._crashed:
+            return  # a crashed process cannot clean up after itself
+        if self._state != _OPEN:
+            raise TransactionError(
+                f"cannot roll back: transaction {self._state}"
+            )
         for entry in reversed(self._undo):
-            kind, table_name = entry[0], entry[1]
-            table = self._db.table(table_name)
-            if kind == "insert":
-                __, __, rid, __row = entry
-                table.delete_rid(rid)
-            elif kind == "delete":
-                __, __, rid, row = entry
-                table.restore_row(rid, row)
-            elif kind == "update":
-                __, __, rid, old, __new = entry
-                table.update_rid(rid, old)
-            else:  # pragma: no cover - defensive
-                raise TransactionError(f"unknown undo entry {entry!r}")
-            for observer in observers:
-                observer(entry)
+            self._undo_entry(entry)
         self._undo.clear()
-        self._close()
+        if self.wal_txn_id is not None:
+            self._db.wal.abort(self.wal_txn_id)
+        self._close(_ROLLED_BACK)
 
-    def _require_open(self) -> None:
-        if not self._open:
-            raise TransactionError("transaction is closed")
+    def _undo_entry(self, entry: UndoEntry) -> None:
+        kind, table_name = entry[0], entry[1]
+        table = self._db.table(table_name)
+        if kind == "insert":
+            __, __, rid, __row = entry
+            table.delete_rid(rid)
+        elif kind == "delete":
+            __, __, rid, row = entry
+            table.restore_row(rid, row)
+        elif kind == "update":
+            __, __, rid, old, __new = entry
+            table.update_rid(rid, old)
+        else:  # pragma: no cover - defensive
+            raise TransactionError(f"unknown undo entry {entry!r}")
+        for observer in self._db.physical_undo_observers:
+            observer(entry)
 
-    def _close(self) -> None:
-        self._open = False
+    def _require_open(self, verb: str) -> None:
+        if self._state != _OPEN:
+            raise TransactionError(
+                f"cannot {verb} a {self._state} transaction"
+            )
+
+    def _close(self, state: str) -> None:
+        self._state = state
+        for sp in self._savepoints:
+            sp._active = False
+        self._savepoints.clear()
         self._db._active_transaction = None
 
     # ------------------------------------------------------------------
@@ -107,8 +274,56 @@ class Transaction:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        if not self._open:
+        if self._db._crashed:
+            return False  # leave the torn state for recovery
+        if self._state != _OPEN:
             return False  # already committed/rolled back explicitly
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+
+class SavepointScope:
+    """A savepoint dressed as a transaction-like nested scope.
+
+    Returned by :meth:`Database.begin_nested` when a transaction is
+    already active: ``commit()`` releases the savepoint (the outer
+    transaction still decides overall fate), ``rollback()`` undoes just
+    this scope.  As a context manager it mirrors :class:`Transaction`.
+    """
+
+    def __init__(self, txn: Transaction) -> None:
+        self._txn = txn
+        self._sp = txn.savepoint()
+        self._closed = False
+
+    @property
+    def is_open(self) -> bool:
+        return not self._closed and self._sp.is_active
+
+    def commit(self) -> None:
+        if self._closed:
+            raise TransactionError("nested scope is already closed")
+        self._closed = True
+        if self._sp.is_active:
+            self._sp.release()
+
+    def rollback(self) -> None:
+        if self._closed:
+            raise TransactionError("nested scope is already closed")
+        self._closed = True
+        if self._sp.is_active:
+            self._sp.rollback()
+            self._sp.release()
+
+    def __enter__(self) -> "SavepointScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._txn._db._crashed or self._closed or not self._sp.is_active:
+            return False
         if exc_type is None:
             self.commit()
         else:

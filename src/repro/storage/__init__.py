@@ -1,10 +1,13 @@
-"""Storage substrate: schemas, heaps, tables and the database catalog."""
+"""Storage substrate: schemas, heaps, tables, the database catalog,
+write-ahead logging and integrity verification."""
 
 from .database import Database
 from .heap import HeapFile, Row
 from .schema import Column, DataType, TableSchema
 from .statistics import ColumnStatistics, TableStatistics
 from .table import Table
+from .verify import IntegrityReport, verify_integrity
+from .wal import RecoveryReport, WalRecord, WriteAheadLog, recover, simulate_crash
 
 __all__ = [
     "Database",
@@ -16,4 +19,11 @@ __all__ = [
     "ColumnStatistics",
     "TableStatistics",
     "Table",
+    "IntegrityReport",
+    "verify_integrity",
+    "RecoveryReport",
+    "WalRecord",
+    "WriteAheadLog",
+    "recover",
+    "simulate_crash",
 ]

@@ -28,7 +28,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..constraints.foreign_key import ForeignKey
     from ..constraints.keys import CandidateKey
     from ..query.predicate import Predicate
-    from ..query.transaction import Transaction
+    from ..query.transaction import SavepointScope, Transaction
+    from .verify import IntegrityReport
+    from .wal import WriteAheadLog
 
 
 class Database:
@@ -43,6 +45,10 @@ class Database:
         self.candidate_keys: dict[str, list["CandidateKey"]] = {}
         self._index_order = index_order
         self._active_transaction: "Transaction | None" = None
+        self._wal: "WriteAheadLog | None" = None
+        #: Set by a simulated crash: the 'process' is dead, transaction
+        #: cleanup becomes a no-op, and only recovery may touch state.
+        self._crashed = False
         #: Callbacks invoked per undone entry during transaction rollback
         #: (physical undo bypasses triggers; auxiliary structures that
         #: maintain themselves via triggers subscribe here instead).
@@ -58,6 +64,8 @@ class Database:
             raise CatalogError(f"table {name!r} already exists")
         table = Table(name, columns, self.tracker, self._index_order)
         self.tables[name] = table
+        if self._wal is not None:
+            self._wal.log_ddl(self, "create_table", name, (table.schema,))
         return table
 
     def drop_table(self, name: str) -> None:
@@ -75,6 +83,8 @@ class Database:
         del self.tables[name]
         self.candidate_keys.pop(name, None)
         self.triggers.drop_for_table(name)
+        if self._wal is not None:
+            self._wal.log_ddl(self, "drop_table", name)
 
     def table(self, name: str) -> Table:
         try:
@@ -86,10 +96,15 @@ class Database:
         return name in self.tables
 
     def create_index(self, table_name: str, definition: IndexDefinition):
-        return self.table(table_name).create_index(definition)
+        index = self.table(table_name).create_index(definition)
+        if self._wal is not None:
+            self._wal.log_ddl(self, "create_index", table_name, (definition,))
+        return index
 
     def drop_index(self, table_name: str, index_name: str) -> None:
         self.table(table_name).drop_index(index_name)
+        if self._wal is not None:
+            self._wal.log_ddl(self, "drop_index", table_name, (index_name,))
 
     # ------------------------------------------------------------------
     # Constraint registration (enforcement lives in query.dml)
@@ -168,9 +183,53 @@ class Database:
 
         return Transaction(self)
 
+    def begin_nested(self) -> "Transaction | SavepointScope":
+        """A transaction if none is active, else a savepoint-backed scope.
+
+        Both commit on success and roll back on error when used as a
+        context manager, so callers (the batch paths, per-row retry
+        loops) need not care whether they run inside a transaction.
+        """
+        from ..query.transaction import SavepointScope, Transaction
+
+        if self._active_transaction is None:
+            return Transaction(self)
+        return SavepointScope(self._active_transaction)
+
     @property
     def active_transaction(self) -> "Transaction | None":
         return self._active_transaction
+
+    # ------------------------------------------------------------------
+    # Write-ahead log, crash simulation and integrity verification
+
+    @property
+    def wal(self) -> "WriteAheadLog | None":
+        return self._wal
+
+    def attach_wal(self, wal: "WriteAheadLog") -> "WriteAheadLog":
+        """Start write-ahead logging; takes the initial checkpoint.
+
+        Everything already in the database is captured by the checkpoint
+        snapshot; from here on, mutations issued through the logical DML
+        and catalog APIs are logged and survive :func:`simulated crashes
+        <repro.storage.wal.simulate_crash>`.
+        """
+        self._wal = wal
+        wal.checkpoint(self)
+        return wal
+
+    def freeze_for_crash(self) -> None:
+        """Mark the 'process' dead (used by crash injection): transaction
+        cleanup no-ops from here on; recovery resets the flag."""
+        self._crashed = True
+
+    def verify_integrity(self) -> "IntegrityReport":
+        """Cross-check heap↔index agreement, statistics, and every
+        registered constraint; see :mod:`repro.storage.verify`."""
+        from .verify import verify_integrity
+
+        return verify_integrity(self)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,413 @@
+"""Write-ahead logging and crash recovery for the enforcement engine.
+
+The engine is in-memory, so "durability" is modelled, not physical: the
+:class:`WriteAheadLog` keeps a **volatile buffer** (records written but
+not yet flushed — what a real engine holds in its log buffer) and a
+**durable list** (what has reached the log file).  A simulated crash
+discards the buffer and every live table; recovery rebuilds the database
+from the last checkpoint snapshot plus the durable records of committed
+transactions — MySQL 5.6's InnoDB redo-log discipline, which the paper's
+experiments ran on, reduced to its logical core.
+
+Record flow:
+
+* every logical row mutation (insert/delete/update, with before and
+  after images) and every index/table DDL performed through the
+  :class:`~repro.storage.database.Database` API appends one record;
+* records become durable at commit (**group commit**: inside
+  ``wal.group_commit()`` many transactions share one flush), or when the
+  buffer overflows its capacity;
+* :meth:`WriteAheadLog.checkpoint` snapshots every table and truncates
+  the durable log — the recovery starting point.
+
+Recovery (:func:`recover`) is redo-only: restore the checkpoint images
+in place (table objects keep their identity, so installed triggers,
+foreign keys and cost trackers survive), replay committed records in LSN
+order, then rebuild every index from its definition over the recovered
+heap and recompute statistics.  Uncommitted transactions simply never
+re-apply — atomicity comes for free.  Undo images are still logged: the
+savepoint machinery (:mod:`repro.query.transaction`) uses them to emit
+compensating records for partial rollbacks inside committed
+transactions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import WalError
+from .statistics import TableStatistics
+from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..indexes.definition import IndexDefinition
+    from .database import Database
+
+#: Row-mutation record kinds (payloads carry redo *and* undo images).
+ROW_KINDS = frozenset({"insert", "delete", "update"})
+#: Catalog record kinds.
+DDL_KINDS = frozenset({"create_table", "drop_table", "create_index", "drop_index"})
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One log record.
+
+    Payloads by kind:
+
+    * ``insert`` / ``delete`` — ``(rid, row)``;
+    * ``update`` — ``(rid, old_row, new_row)``;
+    * ``create_table`` — ``(schema,)``; ``drop_table`` — ``()``;
+    * ``create_index`` — ``(definition,)``; ``drop_index`` — ``(name,)``;
+    * ``commit`` — ``()``.
+    """
+
+    lsn: int
+    txn_id: int
+    kind: str
+    table: str | None = None
+    payload: tuple = ()
+
+
+@dataclass
+class _TableSnapshot:
+    schema: Any
+    rows: dict[int, tuple]
+    next_rid: int
+    free: list[int]
+    index_defs: list["IndexDefinition"]
+
+
+@dataclass
+class _Checkpoint:
+    lsn: int
+    tables: dict[str, _TableSnapshot]
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover` did, for assertions and operator output."""
+
+    checkpoint_lsn: int
+    committed_txns: list[int] = field(default_factory=list)
+    skipped_txns: list[int] = field(default_factory=list)
+    records_replayed: int = 0
+    indexes_rebuilt: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"recovered from checkpoint lsn={self.checkpoint_lsn}: "
+            f"{len(self.committed_txns)} txn(s) replayed "
+            f"({self.records_replayed} records), "
+            f"{len(self.skipped_txns)} uncommitted txn(s) discarded, "
+            f"{self.indexes_rebuilt} index(es) rebuilt"
+        )
+
+
+class WriteAheadLog:
+    """Logical redo/undo log with group commit and checkpoints."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise WalError("log buffer capacity must be >= 1")
+        self._capacity = capacity
+        self._buffer: list[WalRecord] = []
+        self._durable: list[WalRecord] = []
+        self._next_lsn = 0
+        self._next_txn = 1
+        self._checkpoint: _Checkpoint | None = None
+        self._group_depth = 0
+        self._suspended = False
+        #: Number of physical flushes — group commit is measured by this
+        #: staying far below the number of commits.
+        self.flush_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def __len__(self) -> int:
+        """Number of durable records (what a crash cannot destroy)."""
+        return len(self._durable)
+
+    @property
+    def lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def buffered_count(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def durable_records(self) -> tuple[WalRecord, ...]:
+        return tuple(self._durable)
+
+    @property
+    def has_checkpoint(self) -> bool:
+        return self._checkpoint is not None
+
+    def records_for(self, txn_id: int) -> list[WalRecord]:
+        """Every record (durable or buffered) of one transaction."""
+        return [
+            r
+            for r in (*self._durable, *self._buffer)
+            if r.txn_id == txn_id
+        ]
+
+    # ------------------------------------------------------------------
+    # Appending
+
+    def _append(
+        self, txn_id: int, kind: str, table: str | None = None, payload: tuple = ()
+    ) -> WalRecord | None:
+        if self._suspended:
+            return None
+        record = WalRecord(self._next_lsn, txn_id, kind, table, payload)
+        self._next_lsn += 1
+        self._buffer.append(record)
+        if len(self._buffer) >= self._capacity:
+            self.flush()
+        return record
+
+    def begin(self) -> int:
+        """Allocate a transaction id (no record — commit markers decide)."""
+        txn_id = self._next_txn
+        self._next_txn += 1
+        return txn_id
+
+    def log_mutation(self, txn_id: int, entry: tuple) -> None:
+        """Append one row mutation in the undo-entry format of
+        :mod:`repro.query.transaction`: ``(kind, table, rid, ...images)``."""
+        kind, table = entry[0], entry[1]
+        if kind not in ROW_KINDS:
+            raise WalError(f"unknown mutation kind {kind!r}")
+        self._append(txn_id, kind, table, tuple(entry[2:]))
+
+    def log_ddl(
+        self, db: "Database", kind: str, table: str, payload: tuple = ()
+    ) -> None:
+        """Append a catalog change, under the active transaction if one is
+        open, else as its own committed-on-the-spot transaction."""
+        if kind not in DDL_KINDS:
+            raise WalError(f"unknown DDL kind {kind!r}")
+        txn = db.active_transaction
+        if txn is not None and txn.wal_txn_id is not None:
+            self._append(txn.wal_txn_id, kind, table, payload)
+        else:
+            txn_id = self.begin()
+            self._append(txn_id, kind, table, payload)
+            self.commit(txn_id)
+
+    def log_autocommit(self, entry: tuple) -> None:
+        """One row mutation outside any transaction: its own tiny txn."""
+        txn_id = self.begin()
+        self.log_mutation(txn_id, entry)
+        self.commit(txn_id)
+
+    # ------------------------------------------------------------------
+    # Commit / abort / flush
+
+    def commit(self, txn_id: int) -> None:
+        """Make the transaction durable (flushes unless inside a group)."""
+        self._append(txn_id, "commit")
+        if self._group_depth == 0:
+            self.flush()
+
+    def abort(self, txn_id: int) -> None:
+        """Forget the transaction's buffered records.
+
+        Records that already reached the durable log (buffer overflow)
+        stay there; recovery skips them for lack of a commit marker.
+        """
+        self._buffer = [r for r in self._buffer if r.txn_id != txn_id]
+
+    def flush(self) -> None:
+        """Move the volatile buffer to the durable log (one 'fsync')."""
+        if self._suspended or not self._buffer:
+            return
+        self._durable.extend(self._buffer)
+        self._buffer.clear()
+        self.flush_count += 1
+
+    @contextmanager
+    def group_commit(self) -> Iterator[None]:
+        """Defer commit flushes inside the block to a single flush.
+
+        This is group commit as MySQL's binary log implements it: many
+        transactions' commit records ride one fsync.  A transaction is
+        not durable until the group flushes — a crash inside the block
+        loses the whole group, atomically per transaction.
+        """
+        self._group_depth += 1
+        try:
+            yield
+        finally:
+            self._group_depth -= 1
+            if self._group_depth == 0:
+                self.flush()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def checkpoint(self, db: "Database") -> None:
+        """Snapshot every table and truncate the durable log.
+
+        Requires no open transaction (the snapshot must be a committed
+        state).  After a checkpoint, recovery starts from the snapshot
+        and replays only records logged afterwards.
+        """
+        txn = db.active_transaction
+        if txn is not None and txn.is_open:
+            raise WalError("cannot checkpoint with an open transaction")
+        self.flush()
+        tables: dict[str, _TableSnapshot] = {}
+        for name, table in db.tables.items():
+            tables[name] = _TableSnapshot(
+                schema=table.schema,
+                rows=dict(table.heap._rows),
+                next_rid=table.heap._next_rid,
+                free=list(table.heap._free),
+                index_defs=[index.definition for index in table.indexes],
+            )
+        self._checkpoint = _Checkpoint(lsn=self._next_lsn, tables=tables)
+        self._durable.clear()
+
+    # ------------------------------------------------------------------
+    # Crash simulation
+
+    def discard_volatile(self) -> int:
+        """Drop the un-flushed buffer (what a crash destroys); returns
+        how many records were lost."""
+        lost = len(self._buffer)
+        self._buffer.clear()
+        return lost
+
+    @contextmanager
+    def _suspend_logging(self) -> Iterator[None]:
+        """Recovery re-executes physical work; none of it may re-log."""
+        self._suspended = True
+        try:
+            yield
+        finally:
+            self._suspended = False
+
+
+# ----------------------------------------------------------------------
+# Recovery
+
+
+def recover(db: "Database", wal: WriteAheadLog | None = None) -> RecoveryReport:
+    """Rebuild *db* to its last committed state from *wal*.
+
+    Restores the checkpoint images in place, replays committed records
+    in LSN order, rebuilds every index over the recovered heaps, and
+    recomputes statistics.  Catalog objects that are not WAL-logged
+    (foreign keys, triggers, candidate keys) survive untouched because
+    table and database objects keep their identity.
+    """
+    if wal is None:
+        wal = db.wal
+    if wal is None:
+        raise WalError("no write-ahead log attached to this database")
+    checkpoint = wal._checkpoint
+    if checkpoint is None:
+        raise WalError("no checkpoint to recover from (attach_wal takes one)")
+
+    durable = list(wal._durable)
+    committed = {r.txn_id for r in durable if r.kind == "commit"}
+    skipped = sorted(
+        {r.txn_id for r in durable if r.kind != "commit"} - committed
+    )
+    report = RecoveryReport(
+        checkpoint_lsn=checkpoint.lsn,
+        committed_txns=sorted(committed),
+        skipped_txns=skipped,
+    )
+
+    with wal._suspend_logging():
+        # 1. Restore the checkpoint's table set and heap images in place.
+        index_defs: dict[str, list] = {}
+        for name, snap in checkpoint.tables.items():
+            table = db.tables.get(name)
+            if table is None:
+                table = Table(name, snap.schema, db.tracker, db._index_order)
+                db.tables[name] = table
+            heap = table.heap
+            heap._rows = dict(snap.rows)
+            heap._next_rid = snap.next_rid
+            heap._free = list(snap.free)
+            index_defs[name] = list(snap.index_defs)
+        # Tables born after the checkpoint: committed create_table
+        # records will re-create them below; anything else died with the
+        # crash (it was never logged).
+        for name in list(db.tables):
+            if name not in checkpoint.tables:
+                del db.tables[name]
+
+        # 2. Redo committed work in log order.
+        for record in durable:
+            if record.txn_id not in committed or record.kind == "commit":
+                continue
+            report.records_replayed += 1
+            table_name = record.table
+            if record.kind == "insert":
+                rid, row = record.payload
+                db.tables[table_name].heap.restore(rid, row)
+            elif record.kind == "delete":
+                rid, __row = record.payload
+                db.tables[table_name].heap.delete(rid)
+            elif record.kind == "update":
+                rid, __old, new = record.payload
+                db.tables[table_name].heap.update(rid, new)
+            elif record.kind == "create_table":
+                (schema,) = record.payload
+                db.tables[table_name] = Table(
+                    table_name, schema, db.tracker, db._index_order
+                )
+                index_defs[table_name] = []
+            elif record.kind == "drop_table":
+                db.tables.pop(table_name, None)
+                index_defs.pop(table_name, None)
+            elif record.kind == "create_index":
+                (definition,) = record.payload
+                index_defs[table_name].append(definition)
+            elif record.kind == "drop_index":
+                (index_name,) = record.payload
+                index_defs[table_name] = [
+                    d for d in index_defs[table_name] if d.name != index_name
+                ]
+            else:  # pragma: no cover - defensive
+                raise WalError(f"unknown record kind {record.kind!r}")
+
+        # 3. Derived state: indexes are rebuilt from their definitions
+        #    over the recovered heap (this is what makes a crash torn
+        #    between heap and index writes unobservable), statistics are
+        #    recomputed, cached plans die.
+        for name, table in db.tables.items():
+            table.indexes.drop_all()
+            for definition in index_defs.get(name, ()):
+                table.create_index(definition)
+                report.indexes_rebuilt += 1
+            stats = TableStatistics(len(table.schema))
+            for __, row in table.heap.scan_unordered():
+                stats.add_row(row)
+            table.statistics = stats
+            table._plan_cache.clear()
+
+    # 4. The crash killed any open transaction; un-freeze the database.
+    db._active_transaction = None
+    db._crashed = False
+    wal._buffer.clear()
+    return report
+
+
+def simulate_crash(db: "Database") -> RecoveryReport:
+    """Crash now and recover: drop the volatile log buffer, then rebuild
+    the database to its last durable committed state."""
+    wal = db.wal
+    if wal is None:
+        raise WalError("no write-ahead log attached to this database")
+    wal.discard_volatile()
+    return recover(db, wal)

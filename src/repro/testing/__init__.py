@@ -1,0 +1,10 @@
+"""Test-support subsystems: systematic fault injection.
+
+``repro.testing`` is shipped with the library (not hidden inside the
+test suite) so that benchmarks, examples and downstream users can drive
+the same fault-injection harness the crash-recovery tests use.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

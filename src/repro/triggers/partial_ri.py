@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any
 from ..constraints.foreign_key import EnforcementMode, ForeignKey, MatchSemantics
 from ..errors import SchemaError
 from ..query import enforcement
+from ..testing.faults import fire
 from ..triggers import sqlgen
 from .framework import Trigger, TriggerEvent
 
@@ -60,6 +61,7 @@ def install(db: "Database", fk: ForeignKey) -> list[Trigger]:
         if event is TriggerEvent.BEFORE_UPDATE and old is not None:
             if fk.child_values(new) == fk.child_values(old):
                 return
+        fire("trigger.child_check")
         enforcement.check_child_write(db_, fk, new)
 
     def parent_restrict(db_: Any, event: TriggerEvent, table: str, old: Any, new: Any) -> None:
@@ -69,6 +71,7 @@ def install(db: "Database", fk: ForeignKey) -> list[Trigger]:
         if event is TriggerEvent.BEFORE_UPDATE and new is not None:
             if fk.parent_values(new) == fk.parent_values(old):
                 return
+        fire("trigger.parent_restrict")
         enforcement.restrict_parent_remove(db_, fk, old)
 
     def parent_removed(db_: Any, event: TriggerEvent, table: str, old: Any, new: Any) -> None:
@@ -76,6 +79,7 @@ def install(db: "Database", fk: ForeignKey) -> list[Trigger]:
         if event is TriggerEvent.AFTER_UPDATE and new is not None:
             if fk.parent_values(new) == fk.parent_values(old):
                 return
+        fire("trigger.parent_delete")
         enforcement.handle_parent_removed(db_, fk, old, action)
 
     names = trigger_names(fk)

@@ -79,3 +79,12 @@ def enforced_tourism():
 @pytest.fixture
 def empty_db():
     return Database("test")
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_registry():
+    """Fault injection is process-global; never let it leak across tests."""
+    from repro.testing import faults
+
+    yield
+    faults.reset()

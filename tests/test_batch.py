@@ -3,8 +3,12 @@
 import pytest
 
 from repro import (
+    Column,
+    Database,
     EnforcedForeignKey,
+    ForeignKey,
     IndexStructure,
+    MatchSemantics,
     ReferentialIntegrityViolation,
     check_database,
 )
@@ -81,6 +85,65 @@ class TestBatchInsert:
                 batch_insert_children(ds.db, ds.fk, rows)
                 raise RuntimeError
         assert check_database(ds.db) == []
+
+
+class TestNonAtomicBatchInsert:
+    """Satellite audit: ``batch_insert_children(atomic=False)`` on a
+    mid-batch violation must leave every already-inserted row fully
+    indexed with consistent statistics (each row runs in its own nested
+    scope, so only the failing row's writes unwind)."""
+
+    @staticmethod
+    def two_fk_db():
+        db = Database("audit")
+        db.create_table("p", [
+            Column("k1", nullable=False), Column("k2", nullable=False),
+        ])
+        db.create_table("q", [Column("m", nullable=False)])
+        db.create_table("c", [Column("x"), Column("f1"), Column("f2"),
+                              Column("g")])
+        fk = ForeignKey("fk_cp", "c", ("f1", "f2"), "p", ("k1", "k2"),
+                        match=MatchSemantics.PARTIAL)
+        fk2 = ForeignKey("fk_cq", "c", ("g",), "q", ("m",),
+                         match=MatchSemantics.SIMPLE)
+        EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+        EnforcedForeignKey.create(db, fk2, IndexStructure.BOUNDED)
+        for k in (1, 2):
+            dml.insert(db, "p", (k, k))
+        dml.insert(db, "q", (5,))
+        return db, fk
+
+    def test_mid_batch_violation_keeps_earlier_rows_indexed(self):
+        db, fk = self.two_fk_db()
+        # Every row satisfies fk (the shared probe pass certifies the
+        # batch up front); the third violates the *other* foreign key,
+        # so it fails mid-batch inside dml.insert.
+        rows = [(1, 1, 1, 5), (2, 2, 2, 5), (3, 1, 1, 999), (4, 2, 2, 5)]
+        with pytest.raises(ReferentialIntegrityViolation):
+            batch_insert_children(db, fk, rows, atomic=False)
+        survivors = sorted(r[0] for r in db.table("c").rows())
+        assert survivors == [1, 2]  # before the failure: kept; after: never ran
+        report = db.verify_integrity()
+        assert report.ok, report.render()
+
+    def test_atomic_batch_unwinds_everything(self):
+        """Same workload under the default: nothing survives."""
+        db, fk = self.two_fk_db()
+        rows = [(1, 1, 1, 5), (2, 2, 2, 5), (3, 1, 1, 999), (4, 2, 2, 5)]
+        with pytest.raises(ReferentialIntegrityViolation):
+            batch_insert_children(db, fk, rows)
+        assert db.table("c").row_count == 0
+        assert db.verify_integrity().ok
+
+    def test_probe_pass_failure_inserts_nothing(self):
+        """A violation of the batched FK itself is caught by the shared
+        probe pass before any insert, atomic or not."""
+        db, fk = self.two_fk_db()
+        rows = [(1, 1, 1, 5), (2, 7, 7, 5)]  # (7, 7) has no parent
+        with pytest.raises(ReferentialIntegrityViolation):
+            batch_insert_children(db, fk, rows, atomic=False)
+        assert db.table("c").row_count == 0
+        assert db.verify_integrity().ok
 
 
 class TestBatchDelete:

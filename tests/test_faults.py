@@ -1,0 +1,160 @@
+"""The fault-injection framework itself: registry, injectors, retry."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import Column, Database, SimulatedCrash, TransientFault
+from repro.query import dml
+from repro.testing import faults
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table("t", [Column("a"), Column("b")])
+    return db
+
+
+class TestRegistry:
+    def test_disarmed_by_default(self):
+        assert not faults.active()
+        faults.fire("dml.insert.pre")  # no injector: must be a no-op
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(faults.FaultError):
+            faults.install("no.such.point", faults.FailInjector())
+
+    def test_install_arms_uninstall_disarms(self):
+        faults.install("dml.insert.pre", faults.FailInjector())
+        assert faults.active()
+        faults.uninstall("dml.insert.pre")
+        assert not faults.active()
+
+    def test_injected_scopes_to_block(self):
+        db = make_db()
+        with faults.injected("dml.insert.pre", faults.FailInjector()):
+            with pytest.raises(faults.FaultError):
+                dml.insert(db, "t", (1, 2))
+        assert not faults.active()
+        dml.insert(db, "t", (1, 2))
+        assert db.table("t").row_count == 1
+
+    def test_every_known_point_is_compiled_in(self):
+        """KNOWN_POINTS and the fire() calls in the source must agree."""
+        fired = set()
+        for path in SRC.rglob("*.py"):
+            fired.update(re.findall(r'fire\("([a-z_.]+)"\)', path.read_text()))
+        assert fired == set(faults.KNOWN_POINTS)
+
+    def test_names_lists_all_points(self):
+        assert faults.names() == faults.KNOWN_POINTS
+
+
+class TestInjectorWindows:
+    def test_skip_delays_firing(self):
+        db = make_db()
+        injector = faults.FailInjector(skip=2)
+        with faults.injected("dml.insert.pre", injector):
+            dml.insert(db, "t", (1, 2))
+            dml.insert(db, "t", (3, 4))
+            with pytest.raises(faults.FaultError):
+                dml.insert(db, "t", (5, 6))
+        assert injector.hits == 3
+        assert injector.fired == 1
+
+    def test_times_bounds_firing(self):
+        db = make_db()
+        injector = faults.FailInjector(times=1)
+        with faults.injected("dml.insert.pre", injector):
+            with pytest.raises(faults.FaultError):
+                dml.insert(db, "t", (1, 2))
+            dml.insert(db, "t", (3, 4))  # window exhausted: passes
+        assert injector.fired == 1
+
+    def test_custom_exception_factory(self):
+        db = make_db()
+        injector = faults.FailInjector(lambda point: KeyError(point))
+        with faults.injected("dml.insert.pre", injector):
+            with pytest.raises(KeyError):
+                dml.insert(db, "t", (1, 2))
+
+
+class TestCrashInjector:
+    def test_crash_freezes_database(self):
+        db = make_db()
+        with faults.injected("dml.insert.post", faults.CrashInjector(db)):
+            with pytest.raises(SimulatedCrash):
+                with db.begin():
+                    dml.insert(db, "t", (1, 2))
+        # __exit__ must NOT have rolled back: the process was dead.
+        assert db._crashed
+        assert db.table("t").row_count == 1
+
+    def test_crash_is_not_an_exception(self):
+        """`except Exception` cleanup code must not catch a crash."""
+        assert not issubclass(SimulatedCrash, Exception)
+
+
+class TestTracing:
+    def test_tracing_records_crossings(self):
+        db = make_db()
+        with faults.tracing() as hits:
+            dml.insert(db, "t", (1, 2))
+            dml.delete_where(db, "t")
+        assert hits["dml.insert.pre"] == 1
+        assert hits["dml.insert.post"] == 1
+        assert hits["dml.delete.pre"] == 1
+        assert not faults.active()
+
+    def test_tracing_composes_with_injector(self):
+        db = make_db()
+        with faults.tracing() as hits:
+            with faults.injected("dml.insert.post", faults.FailInjector()):
+                with pytest.raises(faults.FaultError):
+                    dml.insert(db, "t", (1, 2))
+        assert hits["dml.insert.post"] == 1
+
+
+class TestTransientRetry:
+    def test_transient_fault_retried_to_success(self):
+        db = make_db()
+        injector = faults.TransientInjector(times=2)
+        sleeps: list[float] = []
+        with faults.injected("dml.insert.pre", injector):
+            rid = faults.retry_transient(
+                lambda: dml.insert(db, "t", (1, 2)), sleep=sleeps.append
+            )
+        assert db.table("t").heap.get(rid) == (1, 2)
+        assert injector.fired == 2
+        assert sleeps == [0.001, 0.002]
+
+    def test_backoff_doubles_and_caps(self):
+        sleeps: list[float] = []
+
+        def always_fails():
+            raise TransientFault("still down")
+
+        with pytest.raises(TransientFault):
+            faults.retry_transient(
+                always_fails, attempts=6, base_delay=0.01, max_delay=0.04,
+                sleep=sleeps.append,
+            )
+        assert sleeps == [0.01, 0.02, 0.04, 0.04, 0.04]
+
+    def test_non_transient_not_retried(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            faults.retry_transient(fails, sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_attempts_validated(self):
+        with pytest.raises(ValueError):
+            faults.retry_transient(lambda: None, attempts=0)

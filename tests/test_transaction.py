@@ -68,6 +68,53 @@ class TestLifecycle:
         with pytest.raises(TransactionError):
             txn.log(("insert", "t", 0, (0, 0)))
 
+    def test_commit_after_rollback_rejected(self):
+        db = make_db()
+        txn = db.begin()
+        dml.insert(db, "t", (9, 90))
+        txn.rollback()
+        with pytest.raises(TransactionError, match="rolled back"):
+            txn.commit()
+
+    def test_double_rollback_rejected(self):
+        db = make_db()
+        txn = db.begin()
+        txn.rollback()
+        with pytest.raises(TransactionError, match="rolled back"):
+            txn.rollback()
+
+    def test_double_commit_names_state(self):
+        db = make_db()
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionError, match="committed"):
+            txn.commit()
+
+    def test_log_after_rollback_rejected(self):
+        db = make_db()
+        txn = db.begin()
+        txn.rollback()
+        with pytest.raises(TransactionError, match="rolled back"):
+            txn.log(("insert", "t", 0, (0, 0)))
+
+    def test_savepoint_in_closed_transaction_rejected(self):
+        db = make_db()
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionError, match="committed"):
+            txn.savepoint()
+
+    def test_closed_transaction_detaches_from_database(self):
+        """A failed commit/rollback must not leave the closed transaction
+        installed as the database's active one."""
+        db = make_db()
+        txn = db.begin()
+        txn.rollback()
+        assert db.active_transaction is None
+        with db.begin():  # a fresh transaction opens fine
+            dml.insert(db, "t", (9, 90))
+        assert db.exists("t", Eq("a", 9))
+
     def test_explicit_commit_inside_with(self):
         db = make_db()
         with db.begin() as txn:
