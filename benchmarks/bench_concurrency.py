@@ -1,0 +1,54 @@
+"""Concurrent enforcement — throughput and lock behaviour under load.
+
+Microbenchmarks: one mixed insert+delete workload cell per (structure,
+thread count), Bounded vs Hybrid, through the multi-session engine.
+Sweep: the full thread grid via repro.bench.concurrency, written to
+results/concurrency.txt.
+
+Also runnable directly at tiny scale (the CI smoke):
+
+    REPRO_QUICK=1 REPRO_OPS=30 python benchmarks/bench_concurrency.py
+"""
+
+import pytest
+
+from repro.bench import concurrency, experiments
+
+from conftest import bench_plan, record_result
+
+THREADS = (1, 2, 4)
+
+
+@pytest.mark.parametrize(
+    "structure", concurrency.STRUCTURES, ids=lambda s: s.label
+)
+@pytest.mark.parametrize("n_threads", THREADS)
+def test_concurrent_mixed_workload(benchmark, structure, n_threads):
+    plan = bench_plan()
+    result = benchmark.pedantic(
+        lambda: concurrency.run_cell(structure, n_threads, plan),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.clean, "integrity violated under concurrency"
+
+
+def test_concurrency_sweep(benchmark):
+    """Run the full experiment once; rendering goes to results/."""
+    result = benchmark.pedantic(
+        lambda: experiments.concurrency_throughput(bench_plan()),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert not any(
+        note.startswith("INTEGRITY") for note in result.notes
+    ), result.render()
+
+
+if __name__ == "__main__":
+    outcome = experiments.concurrency_throughput(bench_plan())
+    print(outcome.render())
+    raise SystemExit(
+        1 if any(n.startswith("INTEGRITY") for n in outcome.notes) else 0
+    )

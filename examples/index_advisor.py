@@ -58,9 +58,10 @@ def evaluate(structure: IndexStructure, config: SyntheticConfig,
     }
 
 
-def main() -> None:
-    n_columns = int(sys.argv[1]) if len(sys.argv) > 1 else 4
-    parent_rows = int(sys.argv[2]) if len(sys.argv) > 2 else 6000
+def main(argv: list[str] | None = None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    n_columns = int(argv[0]) if len(argv) > 0 else 4
+    parent_rows = int(argv[1]) if len(argv) > 1 else 6000
     config = SyntheticConfig(n_columns=n_columns, parent_rows=parent_rows)
     print(f"advising for an {n_columns}-column foreign key, "
           f"~{parent_rows} parent rows / {config.child_rows} child rows\n")

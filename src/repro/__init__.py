@@ -58,13 +58,18 @@ from .core import (
     intelligent_delete_method2,
     intelligent_insert,
 )
+from .concurrency import LockManager, LockMode, Session, SessionManager
 from .errors import (
+    ConcurrencyError,
+    DeadlockError,
     IntegrityError,
     KeyViolation,
+    LockTimeoutError,
     ReferentialIntegrityViolation,
     ReproError,
     RestrictViolation,
     SimulatedCrash,
+    TransactionStateError,
     TransientFault,
     WalError,
 )
@@ -103,12 +108,20 @@ __all__ = [
     "intelligent_delete_method1",
     "intelligent_delete_method2",
     "intelligent_insert",
+    "ConcurrencyError",
+    "DeadlockError",
     "IntegrityError",
     "KeyViolation",
+    "LockManager",
+    "LockMode",
+    "LockTimeoutError",
     "ReferentialIntegrityViolation",
     "ReproError",
     "RestrictViolation",
+    "Session",
+    "SessionManager",
     "SimulatedCrash",
+    "TransactionStateError",
     "TransientFault",
     "WalError",
     "IndexDefinition",

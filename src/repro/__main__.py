@@ -10,6 +10,11 @@ Commands:
 * ``verify``              — build the demo database, run a workload under
                             the write-ahead log, and print the integrity
                             report (heap ↔ index ↔ statistics ↔ constraints)
+* ``serve [--host H] [--port P] [--demo]``
+                          — start the wire server (length-prefixed JSON
+                            protocol; see repro.server).  --demo preloads
+                            the Example 1 schema and data.  Ctrl-C stops
+                            it gracefully (open transactions roll back).
 """
 
 from __future__ import annotations
@@ -78,7 +83,6 @@ def _run_demo() -> int:
 
 
 def _run_advisor(argv: list[str]) -> int:
-    sys.argv = ["advisor"] + argv
     import importlib.util
     from pathlib import Path
 
@@ -90,7 +94,9 @@ def _run_advisor(argv: list[str]) -> int:
     module = importlib.util.module_from_spec(spec)
     assert spec.loader is not None
     spec.loader.exec_module(module)
-    module.main()
+    # Pass the arguments through explicitly; clobbering the process-wide
+    # sys.argv would leak into anything else running in this interpreter.
+    module.main(argv)
     return 0
 
 
@@ -151,6 +157,55 @@ def _run_verify() -> int:
     return 0 if report.ok else 1
 
 
+def _run_serve(argv: list[str]) -> int:
+    import time
+
+    from .server import ReproServer
+    from .sql import SqlSession
+    from .storage.database import Database
+
+    host, port, demo = "127.0.0.1", 7654, False
+    it = iter(argv)
+    for arg in it:
+        if arg == "--host":
+            host = next(it, host)
+        elif arg == "--port":
+            port = int(next(it, str(port)))
+        elif arg == "--demo":
+            demo = True
+        else:
+            print(f"unknown serve option {arg!r}", file=sys.stderr)
+            return 1
+
+    db = Database("served")
+    if demo:
+        SqlSession(db).execute("""
+            CREATE TABLE tour (tour_id TEXT NOT NULL, site_code TEXT NOT NULL,
+                site_name TEXT, PRIMARY KEY (tour_id, site_code));
+            CREATE TABLE booking (visitor_id INTEGER NOT NULL, tour_id TEXT,
+                site_code TEXT, day TEXT,
+                FOREIGN KEY (tour_id, site_code)
+                    REFERENCES tour (tour_id, site_code)
+                    MATCH PARTIAL ON DELETE SET NULL WITH STRUCTURE bounded);
+            INSERT INTO tour VALUES ('GCG','OR','O''Reilly''s'),
+                ('BRT','OR','O''Reilly''s'), ('BRT','MV','Movie World'),
+                ('RF','BB','Binna Burra'), ('RF','OR','O''Reilly''s');
+        """)
+    server = ReproServer(db, host=host, port=port)
+    server.start()
+    print(f"repro server listening on {server.host}:{server.port}"
+          + (" (demo schema loaded)" if demo else ""))
+    print("Ctrl-C to stop (drains and rolls back open sessions).")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+        rolled_back = server.shutdown()
+        print(f"done; {rolled_back} open transaction(s) rolled back")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
@@ -169,6 +224,8 @@ def main(argv: list[str] | None = None) -> int:
         return _list_experiments()
     if command == "verify":
         return _run_verify()
+    if command == "serve":
+        return _run_serve(rest)
     print(f"unknown command {command!r}", file=sys.stderr)
     print(__doc__)
     return 1

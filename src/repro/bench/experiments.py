@@ -867,6 +867,10 @@ def prefix_compound_ablation(plan: ScalePlan | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Run everything (used by benchmarks/run_all.py and EXPERIMENTS.md).
 
+# Imported here (not at the top) because bench.concurrency needs
+# ExperimentResult from this module.
+from .concurrency import concurrency_throughput  # noqa: E402
+
 ALL_EXPERIMENTS: tuple[Callable[..., ExperimentResult], ...] = (
     table1_insertions,
     table2_deletions,
@@ -886,6 +890,7 @@ ALL_EXPERIMENTS: tuple[Callable[..., ExperimentResult], ...] = (
     table11_12_profiles,
     table13_transaction_structures,
     prefix_compound_ablation,
+    concurrency_throughput,
 )
 
 

@@ -1,0 +1,39 @@
+"""Concurrent sessions: strict 2PL locking and multi-session access.
+
+Layers (bottom up):
+
+* :mod:`repro.concurrency.locks` — lock modes, the statement latch, and
+  the :class:`LockManager` (waits-for deadlock detection, timeouts);
+* :mod:`repro.concurrency.hooks` — the acquisition points threaded
+  through :mod:`repro.query.dml` and :mod:`repro.query.enforcement`;
+* :mod:`repro.concurrency.session` — :class:`SessionManager` /
+  :class:`Session`, the multi-client replacement for the engine's old
+  single ``active_transaction`` slot.
+
+The wire front-end over this lives in :mod:`repro.server`.
+"""
+
+from .locks import (
+    DEFAULT_LOCK_TIMEOUT,
+    LockManager,
+    LockMode,
+    LockStats,
+    StatementLatch,
+    compatible,
+    key_resource,
+    table_resource,
+)
+from .session import Session, SessionManager
+
+__all__ = [
+    "DEFAULT_LOCK_TIMEOUT",
+    "LockManager",
+    "LockMode",
+    "LockStats",
+    "Session",
+    "SessionManager",
+    "StatementLatch",
+    "compatible",
+    "key_resource",
+    "table_resource",
+]

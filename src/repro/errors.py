@@ -38,6 +38,37 @@ class TransactionError(ReproError):
     """A transaction operation was used incorrectly (e.g. nested begin)."""
 
 
+class TransactionStateError(TransactionError):
+    """A new transaction was requested while one is already active on the
+    same session; the message names the open transaction."""
+
+
+class ConcurrencyError(ReproError):
+    """Base class for multi-session locking failures."""
+
+
+class DeadlockError(ConcurrencyError):
+    """This transaction was chosen as the victim of a lock cycle.
+
+    The waits-for deadlock detector aborts the youngest transaction in
+    the cycle; the victim must roll back (releasing its locks) and may
+    retry.  Retryable by design, like MySQL error 1213.
+    """
+
+
+class LockTimeoutError(ConcurrencyError):
+    """A lock request exceeded its timeout.
+
+    Raised instead of waiting forever when contention (or an undetected
+    external cycle, e.g. through application-level resources) starves a
+    request.  Retryable after rolling back, like MySQL error 1205.
+    """
+
+
+class SessionError(ConcurrencyError):
+    """A session was used incorrectly (closed, wrong thread, ...)."""
+
+
 class WalError(ReproError):
     """A write-ahead-log operation was used incorrectly (unknown
     transaction, recovery without a checkpoint...)."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING, Any
 
+from ..concurrency import hooks
 from ..constraints.foreign_key import EnforcementMode
 from ..errors import QueryError
 from ..storage.heap import Row
@@ -60,6 +61,9 @@ def insert(db: "Database", table_name: str, values: Sequence[Any] | Mapping[str,
     else:
         row = table.schema.validate_row(values)
 
+    # Multi-session: writer locks come first, before any check reads
+    # state that a concurrent transaction could still change.
+    hooks.lock_for_insert(db, table_name, row)
     db.triggers.fire(db, table_name, TriggerEvent.BEFORE_INSERT, None, row)
 
     for key in db.candidate_keys.get(table_name, ()):
@@ -99,6 +103,11 @@ def delete_rid(
     if row is None:
         row = table.get_row(rid)
 
+    # Multi-session: X on the victim's candidate keys and, when this
+    # table is a referenced parent, on its referenced-key values — the
+    # delete side of the phantom-parent handshake (child checks hold S
+    # on the witness key they adopted).
+    hooks.lock_for_delete(db, table_name, row)
     db.triggers.fire(db, table_name, TriggerEvent.BEFORE_DELETE, row, None, rid)
     native_fks = [
         fk
@@ -160,6 +169,7 @@ def update_rid(
         old_row = table.get_row(rid)
     new_row = table.schema.validate_row(new_values)
 
+    hooks.lock_for_update(db, table_name, old_row, new_row)
     db.triggers.fire(db, table_name, TriggerEvent.BEFORE_UPDATE, old_row, new_row, rid)
 
     for key in db.candidate_keys.get(table_name, ()):

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import TYPE_CHECKING, Any
 
+from ..concurrency import hooks
 from ..constraints.actions import ReferentialAction
 from ..constraints.foreign_key import ForeignKey, MatchSemantics
 from ..core.states import iter_null_states
@@ -52,7 +53,11 @@ def check_child_write(db: "Database", fk: ForeignKey, row: Sequence[Any]) -> Non
     db.tracker.count("state_checks")
     columns = [k for k, v in zip(fk.key_columns, child_fk) if v is not NULL]
     values = [v for v in child_fk if v is not NULL]
-    if not probes.exists_eq(db.table(fk.parent_table), columns, values):
+    # Single-session this is one exists probe; on a managed session the
+    # probe also takes a shared lock on the witness parent's key, so the
+    # adopted reference cannot be deleted before this transaction ends
+    # (the partial-RI phantom-parent race).
+    if not hooks.verify_parent_exists(db, fk, columns, values):
         raise ReferentialIntegrityViolation(
             f"{fk.name}: no reference is found for {child_fk!r}, "
             "enter a valid value"

@@ -83,6 +83,59 @@ def exists_eq(
         tracker.count("rows_examined", fetched)
 
 
+def find_eq(
+    table: Table,
+    columns: Sequence[str],
+    values: Sequence[Any],
+    null_columns: Sequence[str] = (),
+) -> Sequence[Any] | None:
+    """LIMIT-1 *witness* probe: the first row with ``columns = values``
+    (and ``null_columns IS NULL``), or None.
+
+    Same plan and cost accounting as :func:`exists_eq`, but the matching
+    row itself is returned — the concurrency layer locks the witness's
+    full key before trusting the probe (see
+    :func:`repro.concurrency.hooks.verify_parent_exists`).
+    """
+    eq = dict(zip(columns, values))
+    profile = ConjunctionProfile.from_parts(eq, frozenset(null_columns))
+    path = plan_profile(table, profile)
+    schema = table.schema
+    eq_positions = [(schema.position(c), v) for c, v in eq.items()]
+    null_positions = [schema.position(c) for c in null_columns]
+    tracker = table.tracker
+
+    if path.is_full_scan:
+        tracker.count("full_scans")
+        examined = 0
+        try:
+            for __, row in table.heap.scan_unordered():
+                examined += 1
+                if _row_matches(row, eq_positions, null_positions):
+                    return row
+            return None
+        finally:
+            tracker.count("rows_examined", examined)
+
+    assert path.index is not None
+    bound = set(path.index.columns[: len(path.prefix_values)])
+    residual_eq = [
+        (schema.position(c), v) for c, v in eq.items() if c not in bound
+    ]
+    get_row = table.heap.get
+    fetched = 0
+    try:
+        for rid in path.index.scan_equal(path.prefix_values):
+            fetched += 1
+            row = get_row(rid)
+            if _row_matches(row, residual_eq, null_positions):
+                return row
+        return None
+    finally:
+        tracker.count("rows_fetched", fetched)
+        tracker.count("rows_examined", fetched)
+
+
 def _row_matches(
     row: Sequence[Any],
     eq_positions: list[tuple[int, Any]],

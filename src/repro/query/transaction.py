@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..errors import TransactionError
+from ..errors import TransactionError, TransactionStateError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.database import Database
@@ -121,9 +121,22 @@ class Transaction:
     """
 
     def __init__(self, db: "Database") -> None:
-        if db.active_transaction is not None:
-            raise TransactionError("a transaction is already active")
+        open_txn = db.active_transaction
+        if open_txn is not None:
+            raise TransactionStateError(
+                f"cannot begin: {open_txn.name} is already active"
+                + (
+                    f" on session {open_txn.session.session_id}"
+                    if open_txn.session is not None
+                    else " on this database"
+                )
+            )
         self._db = db
+        self.txn_id = db._next_txn_id()
+        #: The session this transaction belongs to (None outside a
+        #: multi-session context); bound at begin time so lock release
+        #: and error messages know their owner.
+        self.session = db.current_session
         self._undo: list[UndoEntry] = []
         self._state = _OPEN
         self._savepoints: list[Savepoint] = []
@@ -131,6 +144,10 @@ class Transaction:
         wal = db.wal
         self.wal_txn_id: int | None = wal.begin() if wal is not None else None
         db._active_transaction = self
+
+    @property
+    def name(self) -> str:
+        return f"transaction #{self.txn_id}"
 
     # ------------------------------------------------------------------
 
@@ -266,7 +283,15 @@ class Transaction:
         for sp in self._savepoints:
             sp._active = False
         self._savepoints.clear()
-        self._db._active_transaction = None
+        # Clear the *owning* slot, not whatever session the current
+        # thread happens to be bound to.
+        if self.session is not None:
+            self.session._transaction = None
+        else:
+            self._db._default_txn = None
+        # Strict 2PL: every lock this transaction acquired is released
+        # only now, after its fate (commit or rollback) is decided.
+        self._db._release_locks_for(self)
 
     # ------------------------------------------------------------------
 

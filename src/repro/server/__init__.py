@@ -1,0 +1,26 @@
+"""Serving front-end: the wire protocol, the threaded server, and the
+client library (see DESIGN.md §5d and the README's "Serving" section).
+
+Quickstart::
+
+    from repro.server import ReproClient, ReproServer
+
+    with ReproServer() as server:                # picks a free port
+        with ReproClient(*server.address) as client:
+            client.execute("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1)")
+            print(client.select("t"))
+
+Or from the command line: ``python -m repro serve --port 7654``.
+"""
+
+from .client import ReproClient, ServerError
+from .server import Overloaded, ReproServer
+from .wire import WireError
+
+__all__ = [
+    "Overloaded",
+    "ReproClient",
+    "ReproServer",
+    "ServerError",
+    "WireError",
+]

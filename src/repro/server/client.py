@@ -1,0 +1,160 @@
+"""Client library for the repro wire server.
+
+Speaks the length-prefixed JSON protocol of :mod:`repro.server.wire`;
+SQL NULL is plain ``None`` on this side of the wire::
+
+    from repro.server import ReproClient
+
+    with ReproClient("127.0.0.1", port) as client:
+        client.execute("BEGIN")
+        client.insert("booking", [1001, "BRT", None, "Nov 21"])
+        client.execute("COMMIT")
+
+Server-side failures surface as :class:`ServerError`; its ``retryable``
+flag mirrors the server's judgement (deadlock victim, lock timeout,
+admission rejection).  :meth:`ReproClient.retrying` wraps any call in
+the engine's capped-backoff retry loop for exactly those errors.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar
+
+from ..errors import ReproError
+from ..testing.faults import retry_transient
+from . import wire
+
+T = TypeVar("T")
+
+
+class ServerError(ReproError):
+    """An error response from the server."""
+
+    def __init__(self, message: str, error_type: str, retryable: bool) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+        self.retryable = retryable
+
+
+class ReproClient:
+    """One connection to a :class:`~repro.server.server.ReproServer`.
+
+    Not thread-safe: a connection is one session, and sessions (like SQL
+    connections everywhere) are single-threaded.  Open one client per
+    worker thread.
+    """
+
+    def __init__(
+        self, host: str, port: int, connect_timeout: float = 5.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), connect_timeout)
+        self._sock.settimeout(None)
+
+    # ------------------------------------------------------------------
+
+    def request(self, op: str, **payload: Any) -> dict[str, Any]:
+        """One round-trip; raises :class:`ServerError` on failure."""
+        wire.send_frame(self._sock, {"op": op, **payload})
+        response = wire.recv_frame(self._sock)
+        if response is None:
+            raise wire.WireError("server closed the connection")
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown server error"),
+                response.get("error_type", "ReproError"),
+                bool(response.get("retryable")),
+            )
+        return response
+
+    def retrying(
+        self, fn: Callable[[], T], attempts: int = 6, base_delay: float = 0.005
+    ) -> T:
+        """Run *fn*, retrying retryable server errors with capped backoff."""
+
+        def once() -> T:
+            try:
+                return fn()
+            except ServerError as exc:
+                if exc.retryable:
+                    raise _RetryableServerError(str(exc)) from exc
+                raise
+
+        return retry_transient(
+            once,
+            attempts=attempts,
+            base_delay=base_delay,
+            retry_on=(_RetryableServerError,),
+        )
+
+    # ------------------------------------------------------------------
+    # Ops
+
+    def ping(self) -> int:
+        """Round-trip liveness check; returns the server-side session id."""
+        return self.request("ping")["session_id"]
+
+    def execute(self, sql: str) -> list[dict[str, Any]]:
+        return self.request("execute", sql=sql)["results"]
+
+    def insert(self, table: str, values: Sequence[Any]) -> int:
+        return self.request("insert", table=table, values=list(values))["rid"]
+
+    def delete(self, table: str, equals: dict[str, Any] | None = None) -> int:
+        return self.request("delete", table=table, equals=equals)["rowcount"]
+
+    def update(
+        self,
+        table: str,
+        assignments: dict[str, Any],
+        equals: dict[str, Any] | None = None,
+    ) -> int:
+        return self.request(
+            "update", table=table, assignments=assignments, equals=equals
+        )["rowcount"]
+
+    def select(
+        self,
+        table: str,
+        equals: dict[str, Any] | None = None,
+        columns: Sequence[str] | None = None,
+        limit: int | None = None,
+    ) -> list[list[Any]]:
+        return self.request(
+            "select", table=table, equals=equals,
+            columns=list(columns) if columns else None, limit=limit,
+        )["rows"]
+
+    def begin(self) -> int:
+        return self.request("begin")["txn_id"]
+
+    def commit(self) -> None:
+        self.request("commit")
+
+    def rollback(self) -> None:
+        self.request("rollback")
+
+    def verify(self) -> dict[str, Any]:
+        return self.request("verify")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _RetryableServerError(ReproError):
+    """Internal: adapts retryable ServerErrors to retry_transient."""

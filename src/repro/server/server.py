@@ -1,0 +1,409 @@
+"""A threaded wire server over one shared, session-managed database.
+
+Architecture::
+
+    accept thread ──> one handler thread per connection
+                          │  each connection owns a Session
+                          │  (isolated transaction slot + 2PL locks)
+                          └─ requests run under admission control:
+                             at most ``max_inflight`` statements execute
+                             at once; the rest queue, and a queue wait
+                             longer than ``admission_timeout`` is
+                             rejected with a retryable "overloaded"
+                             error (backpressure, not collapse).
+
+Request ops (all JSON, see :mod:`repro.server.wire` for framing):
+
+``ping`` · ``execute`` (SQL text, incl. BEGIN/COMMIT/ROLLBACK) ·
+``insert`` / ``delete`` / ``update`` / ``select`` (structured DML) ·
+``begin`` / ``commit`` / ``rollback`` · ``verify`` (integrity report) ·
+``stats`` (server + lock-manager counters).
+
+Error responses carry ``retryable``: deadlock victims, lock timeouts,
+injected transient faults and admission rejections are safe to retry
+after the automatic rollback; integrity vetoes are semantic and are not.
+
+Graceful shutdown (:meth:`ReproServer.shutdown`) stops accepting, lets
+in-flight requests finish, rolls back every open session transaction
+and only then returns — clients see clean connection closes, never a
+torn transaction.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import TYPE_CHECKING, Any
+
+from ..concurrency.locks import DEFAULT_LOCK_TIMEOUT
+from ..errors import (
+    DeadlockError,
+    LockTimeoutError,
+    ReproError,
+    TransientFault,
+)
+from ..query.predicate import And, Eq, IsNull, Predicate
+from ..sql import ast as sql_ast
+from ..sql import parse
+from ..sql.interpreter import SqlSession
+from ..storage.database import Database
+from ..testing.faults import fire
+from . import wire
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..concurrency.session import Session
+
+#: Granted to admission-queue waits before the request is bounced.
+DEFAULT_ADMISSION_TIMEOUT = 2.0
+
+#: How often blocked accept/recv loops wake to check for shutdown.
+_POLL_S = 0.2
+
+_RETRYABLE = (DeadlockError, LockTimeoutError, TransientFault)
+
+
+class Overloaded(ReproError):
+    """Admission control rejected the request; retry after backoff."""
+
+
+class ServerStats:
+    """Thread-safe counters exposed by the ``stats`` op."""
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self.connections_total = 0
+        self.requests = 0
+        self.errors = 0
+        self.rejected = 0
+        self.rolled_back_on_shutdown = 0
+
+    def bump(self, field: str, by: int = 1) -> None:
+        with self._mu:
+            setattr(self, field, getattr(self, field) + by)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._mu:
+            return {
+                "connections_total": self.connections_total,
+                "requests": self.requests,
+                "errors": self.errors,
+                "rejected": self.rejected,
+                "rolled_back_on_shutdown": self.rolled_back_on_shutdown,
+            }
+
+
+class ReproServer:
+    """Serve a database over the length-prefixed JSON protocol."""
+
+    def __init__(
+        self,
+        db: Database | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 8,
+        admission_timeout: float = DEFAULT_ADMISSION_TIMEOUT,
+        lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+    ) -> None:
+        self.db = db if db is not None else Database("served")
+        if self.db.session_manager is None:
+            self.db.enable_sessions(lock_timeout=lock_timeout)
+        self.sessions = self.db.session_manager
+        self.host = host
+        self._requested_port = port
+        self.stats = ServerStats()
+        self.max_inflight = max_inflight
+        self.admission_timeout = admission_timeout
+        self._admission = threading.Semaphore(max_inflight)
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: list[threading.Thread] = []
+        self._handlers_mu = threading.Lock()
+        self._stopping = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    @property
+    def port(self) -> int:
+        if self._listener is None:
+            raise ReproError("server is not started")
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "ReproServer":
+        """Bind, listen and start accepting in a background thread."""
+        if self._started:
+            raise ReproError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(64)
+        listener.settimeout(_POLL_S)
+        self._listener = listener
+        self._started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def shutdown(self, timeout: float = 10.0) -> int:
+        """Drain and stop.  Returns how many open transactions were
+        rolled back on behalf of their (now disconnected) sessions."""
+        if not self._started:
+            return 0
+        before = self.stats.rolled_back_on_shutdown
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout)
+        with self._handlers_mu:
+            handlers = list(self._handlers)
+        for thread in handlers:
+            thread.join(timeout)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        # Draining handlers roll back their own sessions; close_all picks
+        # up whatever was left (e.g. sessions created outside a handler).
+        self.stats.bump("rolled_back_on_shutdown", self.sessions.close_all())
+        self._started = False
+        return self.stats.rolled_back_on_shutdown - before
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Accept / per-connection loops
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn, __ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self.stats.bump("connections_total")
+            thread = threading.Thread(
+                target=self._handle_connection,
+                args=(conn,),
+                name=f"repro-conn-{self.stats.connections_total}",
+                daemon=True,
+            )
+            with self._handlers_mu:
+                self._handlers.append(thread)
+            thread.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(_POLL_S)
+        session = self.sessions.session()
+        sql_session = SqlSession(self.db)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = wire.recv_frame(conn)
+                except socket.timeout:
+                    continue
+                except (wire.WireError, OSError):
+                    break
+                if request is None:
+                    break  # clean EOF
+                conn.settimeout(None)  # replies must not be torn
+                try:
+                    response = self._dispatch(session, sql_session, request)
+                except Exception as exc:  # noqa: BLE001 - boundary
+                    response = self._error_response(session, exc)
+                try:
+                    wire.send_frame(conn, response)
+                except OSError:
+                    break
+                finally:
+                    conn.settimeout(_POLL_S)
+        finally:
+            if session.in_transaction:
+                if self._stopping.is_set():
+                    self.stats.bump("rolled_back_on_shutdown")
+                session.rollback()
+            session.close()
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._handlers_mu:
+                current = threading.current_thread()
+                if current in self._handlers:
+                    self._handlers.remove(current)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+
+    def _dispatch(
+        self,
+        session: "Session",
+        sql_session: SqlSession,
+        request: dict[str, Any],
+    ) -> dict[str, Any]:
+        fire("server.request")
+        self.stats.bump("requests")
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ReproError(f"unknown op {op!r}")
+        return handler(session, sql_session, request)
+
+    def _error_response(self, session: "Session", exc: Exception) -> dict[str, Any]:
+        self.stats.bump("errors")
+        retryable = isinstance(exc, (_RETRYABLE, Overloaded))
+        if isinstance(exc, Overloaded):
+            self.stats.bump("rejected")
+        # A deadlock victim / timed-out statement leaves the transaction
+        # holding its locks; the only sane continuation is rollback, so
+        # do it server-side and tell the client.
+        rolled_back = False
+        if isinstance(exc, _RETRYABLE) and session.in_transaction:
+            session.rollback()
+            rolled_back = True
+        return {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "retryable": retryable,
+            "rolled_back": rolled_back,
+        }
+
+    def _admitted(self, fn):
+        """Run *fn* under admission control (bounded in-flight work)."""
+        if not self._admission.acquire(timeout=self.admission_timeout):
+            raise Overloaded(
+                f"more than {self.max_inflight} statements in flight; "
+                "retry after backoff"
+            )
+        try:
+            return fn()
+        finally:
+            self._admission.release()
+
+    # ------------------------------------------------------------------
+    # Ops
+
+    def _op_ping(self, session, sql_session, request) -> dict[str, Any]:
+        return {"ok": True, "pong": True, "session_id": session.session_id}
+
+    def _op_execute(self, session, sql_session, request) -> dict[str, Any]:
+        sql = request.get("sql")
+        if not isinstance(sql, str):
+            raise ReproError("execute needs a 'sql' string")
+        statements = parse(sql)
+        txn_control = any(
+            isinstance(s, (sql_ast.Begin, sql_ast.Commit, sql_ast.Rollback))
+            for s in statements
+        )
+
+        def run() -> list[dict[str, Any]]:
+            results = []
+            for statement in statements:
+                result = sql_session._run(statement)
+                results.append({
+                    "message": result.message,
+                    "columns": list(result.columns),
+                    "rows": [wire.encode_row(r) for r in result.rows],
+                    "rowcount": result.rowcount,
+                })
+            return results
+
+        def statement() -> list[dict[str, Any]]:
+            if txn_control or session.in_transaction:
+                # BEGIN/COMMIT manage the session transaction themselves;
+                # inside an explicit transaction nothing auto-commits.
+                with session.use():
+                    with session.db_latch():
+                        return run()
+            return session.execute(run)
+
+        return {"ok": True, "results": self._admitted(statement)}
+
+    def _op_insert(self, session, sql_session, request) -> dict[str, Any]:
+        table = request["table"]
+        values = wire.decode_values(request["values"])
+        rid = self._admitted(lambda: session.insert(table, values))
+        return {"ok": True, "rid": rid}
+
+    def _op_delete(self, session, sql_session, request) -> dict[str, Any]:
+        table = request["table"]
+        predicate = _predicate_from(request.get("equals"))
+        count = self._admitted(lambda: session.delete_where(table, predicate))
+        return {"ok": True, "rowcount": count}
+
+    def _op_update(self, session, sql_session, request) -> dict[str, Any]:
+        table = request["table"]
+        assignments = {
+            column: wire.decode_value(value)
+            for column, value in request["assignments"].items()
+        }
+        predicate = _predicate_from(request.get("equals"))
+        count = self._admitted(
+            lambda: session.update_where(table, assignments, predicate)
+        )
+        return {"ok": True, "rowcount": count}
+
+    def _op_select(self, session, sql_session, request) -> dict[str, Any]:
+        table = request["table"]
+        predicate = _predicate_from(request.get("equals"))
+        columns = request.get("columns")
+        limit = request.get("limit")
+        rows = self._admitted(
+            lambda: session.select(table, predicate, columns, limit)
+        )
+        return {"ok": True, "rows": [wire.encode_row(r) for r in rows]}
+
+    def _op_begin(self, session, sql_session, request) -> dict[str, Any]:
+        txn = session.begin()
+        return {"ok": True, "txn_id": txn.txn_id}
+
+    def _op_commit(self, session, sql_session, request) -> dict[str, Any]:
+        session.commit()
+        return {"ok": True}
+
+    def _op_rollback(self, session, sql_session, request) -> dict[str, Any]:
+        session.rollback()
+        return {"ok": True}
+
+    def _op_verify(self, session, sql_session, request) -> dict[str, Any]:
+        def run():
+            with session.use():
+                with session.db_latch():
+                    return self.db.verify_integrity()
+
+        report = self._admitted(run)
+        return {
+            "ok": True,
+            "clean": report.ok,
+            "problem_count": len(report.problems()),
+            "report": report.render(),
+        }
+
+    def _op_stats(self, session, sql_session, request) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "server": self.stats.snapshot(),
+            "locks": self.sessions.stats(),
+        }
+
+
+def _predicate_from(equals: dict[str, Any] | None) -> Predicate | None:
+    """Column=value conjunction; JSON null means IS NULL."""
+    if not equals:
+        return None
+    parts: list[Predicate] = [
+        IsNull(column) if value is None else Eq(column, value)
+        for column, value in equals.items()
+    ]
+    return parts[0] if len(parts) == 1 else And(*parts)

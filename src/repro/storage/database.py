@@ -14,6 +14,7 @@ it (imported lazily to keep the package layering acyclic).
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping, Sequence
 from typing import TYPE_CHECKING, Any
 
@@ -25,6 +26,7 @@ from .schema import Column, TableSchema
 from .table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..concurrency.session import Session, SessionManager
     from ..constraints.foreign_key import ForeignKey
     from ..constraints.keys import CandidateKey
     from ..query.predicate import Predicate
@@ -44,7 +46,14 @@ class Database:
         self.foreign_keys: list["ForeignKey"] = []
         self.candidate_keys: dict[str, list["CandidateKey"]] = {}
         self._index_order = index_order
-        self._active_transaction: "Transaction | None" = None
+        #: The single-session ("default") transaction slot.  Sessions
+        #: created through a SessionManager carry their own slot; the
+        #: ``_active_transaction`` property below routes between them
+        #: based on which session the current thread has bound.
+        self._default_txn: "Transaction | None" = None
+        self._session_local = threading.local()
+        self._session_manager: "SessionManager | None" = None
+        self._txn_counter = 0
         self._wal: "WriteAheadLog | None" = None
         #: Set by a simulated crash: the 'process' is dead, transaction
         #: cleanup becomes a no-op, and only recovery may touch state.
@@ -161,8 +170,10 @@ class Database:
         columns: Sequence[str] | None = None,
         limit: int | None = None,
     ) -> list[tuple[Any, ...]]:
+        from ..concurrency import hooks
         from ..query import executor
 
+        hooks.lock_for_read(self, table_name)
         return executor.select(self, table_name, predicate, columns, limit)
 
     def exists(self, table_name: str, predicate: "Predicate | None" = None) -> bool:
@@ -199,6 +210,64 @@ class Database:
     @property
     def active_transaction(self) -> "Transaction | None":
         return self._active_transaction
+
+    @property
+    def _active_transaction(self) -> "Transaction | None":
+        session = self.current_session
+        if session is not None:
+            return session._transaction
+        return self._default_txn
+
+    @_active_transaction.setter
+    def _active_transaction(self, txn: "Transaction | None") -> None:
+        session = self.current_session
+        if session is not None:
+            session._transaction = txn
+        else:
+            self._default_txn = txn
+
+    def _next_txn_id(self) -> int:
+        """Monotonic transaction ids; lock-manager victim selection
+        ('abort the youngest') relies on the ordering."""
+        self._txn_counter += 1
+        return self._txn_counter
+
+    def _release_locks_for(self, txn: "Transaction") -> None:
+        """Called from ``Transaction._close``: strict 2PL lock release."""
+        manager = self._session_manager
+        if manager is not None:
+            manager.locks.release_all(txn.txn_id)
+
+    # ------------------------------------------------------------------
+    # Concurrent sessions
+
+    @property
+    def current_session(self) -> "Session | None":
+        """The session the current thread is running under, if any."""
+        return getattr(self._session_local, "session", None)
+
+    @property
+    def session_manager(self) -> "SessionManager | None":
+        return self._session_manager
+
+    def enable_sessions(self, **kwargs: Any) -> "SessionManager":
+        """Attach a :class:`~repro.concurrency.session.SessionManager`.
+
+        Idempotent when called without arguments; the manager hands out
+        isolated :class:`~repro.concurrency.session.Session` objects
+        whose statements acquire locks through the shared lock manager.
+        """
+        from ..concurrency.session import SessionManager
+
+        if self._session_manager is not None:
+            if kwargs:
+                raise CatalogError(
+                    "a session manager is already attached; detach it "
+                    "before reconfiguring"
+                )
+            return self._session_manager
+        self._session_manager = SessionManager(self, **kwargs)
+        return self._session_manager
 
     # ------------------------------------------------------------------
     # Write-ahead log, crash simulation and integrity verification

@@ -72,6 +72,12 @@ KNOWN_POINTS: tuple[str, ...] = (
     "batch.probe",
     "batch.insert_row",
     "batch.state_loop",
+    # concurrency/locks.py — every lock request / each blocking wait
+    # (a TransientInjector here simulates lock-contention storms)
+    "lock.acquire",
+    "lock.wait",
+    # server/server.py — once per decoded client request
+    "server.request",
 )
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro import (
@@ -79,6 +81,34 @@ def enforced_tourism():
 @pytest.fixture
 def empty_db():
     return Database("test")
+
+
+def run_threads(fns, timeout=30.0):
+    """Run callables on daemon threads, join with a hard deadline, and
+    re-raise the first exception any of them hit.
+
+    The deadline matters: without pytest-timeout installed locally, a
+    hung lock wait would otherwise hang the whole suite.
+    """
+    errors: list[BaseException] = []
+
+    def wrap(fn):
+        def runner():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+        return runner
+
+    threads = [threading.Thread(target=wrap(fn), daemon=True) for fn in fns]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    stuck = [t for t in threads if t.is_alive()]
+    assert not stuck, f"{len(stuck)} worker thread(s) still running after {timeout}s"
+    if errors:
+        raise errors[0]
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,357 @@
+"""Unit tests for the strict-2PL lock manager (repro.concurrency.locks).
+
+Each of the policy decisions documented in the module — multi-granularity
+compatibility, upgrades, strict release at end of transaction, youngest-
+victim deadlock detection, the timeout backstop, and the fault points —
+is pinned here with raw LockManager instances (no database involved).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import (
+    LockManager,
+    LockMode,
+    StatementLatch,
+    compatible,
+    key_resource,
+    table_resource,
+)
+from repro.errors import (
+    ConcurrencyError,
+    DeadlockError,
+    LockTimeoutError,
+    TransientFault,
+)
+from repro.testing import faults
+
+from .conftest import run_threads
+
+T = table_resource("t")
+K1 = key_resource("t", ("a", "b"), (1, 2))
+K2 = key_resource("t", ("a", "b"), (3, 4))
+
+
+# ----------------------------------------------------------------------
+# Compatibility matrix and upgrades
+
+
+def test_compatibility_matrix_matches_gray():
+    # The canonical IS/IX/S/X table: X conflicts with everything,
+    # IS only with X, IX with S and X, S with IX and X.
+    expect_compatible = {
+        (LockMode.IS, LockMode.IS), (LockMode.IS, LockMode.IX),
+        (LockMode.IS, LockMode.S),
+        (LockMode.IX, LockMode.IS), (LockMode.IX, LockMode.IX),
+        (LockMode.S, LockMode.IS), (LockMode.S, LockMode.S),
+    }
+    for a in LockMode:
+        for b in LockMode:
+            assert compatible(a, b) == ((a, b) in expect_compatible)
+            # the matrix is symmetric
+            assert compatible(a, b) == compatible(b, a)
+
+
+def test_shared_locks_coexist_and_conflict_with_exclusive():
+    locks = LockManager(timeout=0.2)
+    locks.acquire(1, K1, LockMode.S)
+    locks.acquire(2, K1, LockMode.S)
+    assert locks.holders(K1) == {1: LockMode.S, 2: LockMode.S}
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(3, K1, LockMode.X, timeout=0.05)
+
+
+def test_intention_locks_coexist_on_table():
+    locks = LockManager(timeout=0.2)
+    locks.acquire(1, T, LockMode.IX)
+    locks.acquire(2, T, LockMode.IX)
+    locks.acquire(3, T, LockMode.IS)
+    # but a whole-table S must wait for the IX writers
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(4, T, LockMode.S, timeout=0.05)
+
+
+def test_reacquire_weaker_mode_is_a_noop():
+    locks = LockManager()
+    locks.acquire(1, K1, LockMode.X)
+    locks.acquire(1, K1, LockMode.S)  # X covers S
+    assert locks.holders(K1) == {1: LockMode.X}
+    assert locks.stats.acquired == 2
+    assert locks.stats.waits == 0
+
+
+def test_upgrade_s_to_x_when_sole_holder():
+    locks = LockManager()
+    locks.acquire(1, K1, LockMode.S)
+    locks.acquire(1, K1, LockMode.X)
+    assert locks.holders(K1) == {1: LockMode.X}
+
+
+def test_upgrade_combines_s_and_ix_to_x():
+    locks = LockManager()
+    locks.acquire(1, T, LockMode.S)
+    locks.acquire(1, T, LockMode.IX)
+    assert locks.holders(T) == {1: LockMode.X}
+
+
+def test_upgrade_blocks_while_another_reader_holds():
+    locks = LockManager(timeout=0.2)
+    locks.acquire(1, K1, LockMode.S)
+    locks.acquire(2, K1, LockMode.S)
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(1, K1, LockMode.X, timeout=0.05)
+    # the reader still holds its S; nothing was corrupted by the failure
+    assert locks.holders(K1) == {1: LockMode.S, 2: LockMode.S}
+
+
+# ----------------------------------------------------------------------
+# Strict 2PL release and introspection
+
+
+def test_release_all_frees_every_resource_and_wakes_waiters():
+    locks = LockManager(timeout=5.0)
+    locks.acquire(1, T, LockMode.IX)
+    locks.acquire(1, K1, LockMode.X)
+    locks.acquire(1, K2, LockMode.X)
+    assert locks.held_by(1) == {T, K1, K2}
+
+    acquired = threading.Event()
+
+    def waiter():
+        locks.acquire(2, K1, LockMode.X)
+        acquired.set()
+
+    thread = threading.Thread(target=waiter, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert not acquired.is_set()
+    assert locks.waiting() == {K1: [2]}
+    locks.release_all(1)
+    assert acquired.wait(5.0), "waiter was not woken by release_all"
+    thread.join(5.0)
+    assert locks.held_by(1) == set()
+    assert locks.holders(K1) == {2: LockMode.X}
+    locks.release_all(2)
+    locks.assert_idle()
+
+
+def test_assert_idle_raises_while_locks_are_held():
+    locks = LockManager()
+    locks.acquire(1, K1, LockMode.S)
+    with pytest.raises(ConcurrencyError):
+        locks.assert_idle()
+    locks.release_all(1)
+    locks.assert_idle()
+
+
+def test_release_all_for_unknown_transaction_is_harmless():
+    locks = LockManager()
+    locks.release_all(99)
+    locks.assert_idle()
+
+
+# ----------------------------------------------------------------------
+# Deadlock detection
+
+
+def test_deadlock_aborts_the_youngest_transaction():
+    locks = LockManager(timeout=30.0)  # far beyond the test deadline:
+    # only the detector, not the timeout, may resolve this cycle
+    locks.acquire(1, K1, LockMode.X)
+    locks.acquire(2, K2, LockMode.X)
+    outcome: dict[str, object] = {}
+
+    def older():  # txn 1 holds K1, wants K2
+        try:
+            locks.acquire(1, K2, LockMode.X)
+            outcome["older"] = "acquired"
+        except DeadlockError:
+            outcome["older"] = "aborted"
+            locks.release_all(1)
+
+    def younger():  # txn 2 holds K2, wants K1 -> cycle
+        time.sleep(0.05)  # let txn 1 start waiting first
+        try:
+            locks.acquire(2, K1, LockMode.X)
+            outcome["younger"] = "acquired"
+        except DeadlockError:
+            outcome["younger"] = "aborted"
+            locks.release_all(2)
+
+    run_threads([older, younger], timeout=10.0)
+    # Deterministic victim: the youngest (largest txn id) in the cycle.
+    assert outcome == {"older": "acquired", "younger": "aborted"}
+    assert locks.stats.deadlocks == 1
+    locks.release_all(1)
+    locks.assert_idle()
+
+
+def test_three_party_deadlock_is_resolved():
+    locks = LockManager(timeout=30.0)
+    k3 = key_resource("t", ("a", "b"), (5, 6))
+    locks.acquire(1, K1, LockMode.X)
+    locks.acquire(2, K2, LockMode.X)
+    locks.acquire(3, k3, LockMode.X)
+    aborted: list[int] = []
+
+    def chase(txn_id: int, wants, delay: float):
+        time.sleep(delay)
+        try:
+            locks.acquire(txn_id, wants, LockMode.X)
+        except DeadlockError:
+            aborted.append(txn_id)
+        finally:
+            locks.release_all(txn_id)
+
+    run_threads(
+        [
+            lambda: chase(1, K2, 0.0),
+            lambda: chase(2, k3, 0.03),
+            lambda: chase(3, K1, 0.06),
+        ],
+        timeout=10.0,
+    )
+    assert aborted == [3], "exactly the youngest member of the cycle aborts"
+    locks.assert_idle()
+
+
+def test_no_false_deadlock_on_plain_contention():
+    # Two transactions queueing on one resource is a chain, not a cycle.
+    locks = LockManager(timeout=5.0)
+    locks.acquire(1, K1, LockMode.X)
+
+    def waiter():
+        locks.acquire(2, K1, LockMode.S)
+        locks.release_all(2)
+
+    thread = threading.Thread(target=waiter, daemon=True)
+    thread.start()
+    time.sleep(0.1)
+    locks.release_all(1)
+    thread.join(5.0)
+    assert not thread.is_alive()
+    assert locks.stats.deadlocks == 0
+    locks.assert_idle()
+
+
+# ----------------------------------------------------------------------
+# Timeouts
+
+
+def test_lock_timeout_raises_and_counts():
+    locks = LockManager(timeout=0.05)
+    locks.acquire(1, K1, LockMode.X)
+    started = time.monotonic()
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(2, K1, LockMode.S)
+    assert time.monotonic() - started < 5.0
+    assert locks.stats.timeouts == 1
+    # the failed waiter left no residue
+    assert locks.waiting() == {}
+    assert locks.held_by(2) == set()
+
+
+def test_per_call_timeout_overrides_manager_default():
+    locks = LockManager(timeout=60.0)
+    locks.acquire(1, K1, LockMode.X)
+    started = time.monotonic()
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(2, K1, LockMode.X, timeout=0.05)
+    assert time.monotonic() - started < 5.0
+
+
+# ----------------------------------------------------------------------
+# Fault points
+
+
+def test_lock_acquire_fault_point_fires_transient():
+    locks = LockManager()
+    with faults.injected("lock.acquire", faults.TransientInjector(times=1)):
+        with pytest.raises(TransientFault):
+            locks.acquire(1, K1, LockMode.S)
+        locks.acquire(1, K1, LockMode.S)  # second arrival passes
+    assert locks.holders(K1) == {1: LockMode.S}
+
+
+def test_lock_wait_fault_point_crossed_only_under_contention():
+    locks = LockManager(timeout=0.2)
+    with faults.tracing() as hits:
+        locks.acquire(1, K1, LockMode.S)  # uncontended: no wait
+    assert "lock.acquire" in hits and "lock.wait" not in hits
+    with faults.tracing() as hits:
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, K1, LockMode.X, timeout=0.05)
+    assert hits.get("lock.wait", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# The statement latch
+
+
+def test_latch_is_reentrant_and_tracks_depth():
+    latch = StatementLatch()
+    assert not latch.held()
+    with latch:
+        assert latch.held()
+        with latch:
+            assert latch.held()
+        assert latch.held()
+    assert not latch.held()
+
+
+def test_release_for_wait_restores_nested_depth():
+    latch = StatementLatch()
+    other_entered = threading.Event()
+
+    def other_thread():
+        with latch:
+            other_entered.set()
+
+    with latch:
+        with latch:  # depth 2
+            restore = latch.release_for_wait()
+            assert not latch.held()
+            # another thread can take the latch while we "wait"
+            thread = threading.Thread(target=other_thread, daemon=True)
+            thread.start()
+            assert other_entered.wait(5.0)
+            thread.join(5.0)
+            restore()
+            assert latch.held()
+        assert latch.held()
+    assert not latch.held()
+
+
+def test_lock_wait_drops_the_statement_latch():
+    """The latch-versus-lock deadlock: a waiter holding the latch would
+    prevent the lock holder from ever finishing its statement."""
+    latch = StatementLatch()
+    locks = LockManager(latch=latch, timeout=5.0)
+    locks.acquire(1, K1, LockMode.X)
+    done = threading.Event()
+
+    def holder_finishes_statement():
+        # needs the latch briefly — must not block on the waiter below
+        with latch:
+            pass
+        locks.release_all(1)
+        done.set()
+
+    def waiter_with_latch():
+        with latch:
+            locks.acquire(2, K1, LockMode.X)  # drops the latch while waiting
+            assert latch.held()  # restored after the grant
+        locks.release_all(2)
+
+    thread = threading.Thread(target=waiter_with_latch, daemon=True)
+    thread.start()
+    time.sleep(0.05)  # let the waiter block inside the latch
+    run_threads([holder_finishes_statement], timeout=10.0)
+    assert done.is_set()
+    thread.join(10.0)
+    assert not thread.is_alive()
+    locks.assert_idle()
