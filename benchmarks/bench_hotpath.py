@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Perf-regression smoke for the enforcement hot paths.
+
+Thin wrapper over :mod:`repro.bench.hotpath` so the harness sits next to
+the other benchmark entry points::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py                # run
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --check       # gate
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out BENCH_hotpath.json
+
+The committed baseline lives at the repository root
+(``BENCH_hotpath.json``); ``--check`` fails on any logical-counter drift
+and on wall-time regressions beyond ``--tolerance`` (default 1.25x,
+overridable via ``REPRO_BENCH_TOLERANCE`` — CI uses a generous value
+because runner machines vary; the counters are the precise gate).
+"""
+
+import sys
+
+from repro.bench.hotpath import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

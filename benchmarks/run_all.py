@@ -4,14 +4,20 @@
 Usage::
 
     python benchmarks/run_all.py            # default scale (1/1000)
+    python benchmarks/run_all.py --json results/json
     REPRO_SCALE=500 REPRO_OPS=300 python benchmarks/run_all.py
 
 This is the full-fidelity path behind EXPERIMENTS.md; the pytest-benchmark
-modules in this directory are the per-experiment microbenchmarks.
+modules in this directory are the per-experiment microbenchmarks.  With
+``--json DIR`` every experiment additionally writes a machine-readable
+``DIR/{experiment_id}.json`` carrying the raw rows, for diffing runs or
+plotting without re-parsing the rendered tables.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -22,10 +28,21 @@ from repro.bench.scale import default_plan
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write per-experiment JSON files into DIR",
+    )
+    args = parser.parse_args(argv)
     plan = default_plan()
     print(f"scale plan: {plan}")
     RESULTS_DIR.mkdir(exist_ok=True)
+    json_dir = Path(args.json) if args.json else None
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
     started = time.perf_counter()
     for experiment in experiments.ALL_EXPERIMENTS:
         name = experiment.__name__
@@ -37,6 +54,17 @@ def main() -> int:
         elapsed = time.perf_counter() - t0
         path = RESULTS_DIR / f"{result.experiment_id}.txt"
         path.write_text(result.render() + "\n")
+        if json_dir is not None:
+            payload = {
+                "experiment_id": result.experiment_id,
+                "title": result.title,
+                "elapsed_s": round(elapsed, 3),
+                "scale_plan": repr(plan),
+                "rows": result.rows,
+                "notes": result.notes,
+            }
+            json_path = json_dir / f"{result.experiment_id}.json"
+            json_path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"[{elapsed:7.1f}s] {name} -> {path}")
         print(result.render())
         print()

@@ -10,6 +10,14 @@ Commands:
 * ``verify``              — build the demo database, run a workload under
                             the write-ahead log, and print the integrity
                             report (heap ↔ index ↔ statistics ↔ constraints)
+* ``bench [--check] [--out F] [--baseline F] [--tolerance X] [--quick]``
+                          — the hot-path perf-regression harness
+                            (repro.bench.hotpath): measures the
+                            enforcement hot paths, captures the logical
+                            cost counters, and with --check gates against
+                            the committed BENCH_hotpath.json baseline
+                            (counters must be bit-identical; wall time
+                            within the tolerance)
 * ``serve [--host H] [--port P] [--demo]``
                           — start the wire server (length-prefixed JSON
                             protocol; see repro.server).  --demo preloads
@@ -224,6 +232,10 @@ def main(argv: list[str] | None = None) -> int:
         return _list_experiments()
     if command == "verify":
         return _run_verify()
+    if command == "bench":
+        from .bench.hotpath import main as bench_main
+
+        return bench_main(rest)
     if command == "serve":
         return _run_serve(rest)
     print(f"unknown command {command!r}", file=sys.stderr)

@@ -164,6 +164,21 @@ def verify_parent_exists(
     if locked is None:
         return probes.exists_eq(parent, columns, values)
     locks, txn_id = locked
+    if locks.solo_mode:
+        # One session: the witness cannot vanish between the probe and
+        # the (instant) solo-mode lock grant, so the re-verify loop is
+        # pure overhead.  Lock the witness key anyway — strict 2PL still
+        # pins it for the transaction, and the grant is materialised if
+        # a second session appears before commit.
+        witness = probes.find_eq(parent, columns, values)
+        if witness is None:
+            return False
+        locks.acquire(
+            txn_id,
+            key_resource(fk.parent_table, fk.key_columns, fk.parent_values(witness)),
+            LockMode.S,
+        )
+        return True
     key_columns = list(fk.key_columns)
     for __ in range(_WITNESS_RETRIES):
         witness = probes.find_eq(parent, columns, values)

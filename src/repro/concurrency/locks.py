@@ -218,6 +218,16 @@ class LockManager:
         self._table: dict[Resource, _LockRecord] = {}
         self._held: dict[int, set[Resource]] = {}
         self.stats = LockStats()
+        #: Solo mode: with at most one session registered, no conflict is
+        #: possible, so ``acquire`` records the resource in ``_held`` (for
+        #: strict-2PL release and introspection) without building
+        #: ``_LockRecord`` state or taking the mutex.  The session manager
+        #: flips this through :meth:`set_solo` under the statement latch,
+        #: so no statement is mid-flight during a transition.  A
+        #: standalone manager (no session manager) stays in full mode.
+        self._solo = False
+        #: Bumped on every solo transition; tests use it to observe flips.
+        self.solo_epoch = 0
 
     # ------------------------------------------------------------------
     # Acquisition
@@ -237,6 +247,14 @@ class LockManager:
         held until :meth:`release_all`.
         """
         fire("lock.acquire")
+        if self._solo:
+            # One session: every request is trivially grantable.  Record
+            # the resource so release_all/held_by behave identically and
+            # set_solo(False) can materialise the grant if a second
+            # session appears mid-transaction.
+            self._held.setdefault(txn_id, set()).add(resource)
+            self.stats.acquired += 1
+            return
         with self._cond:
             if self._try_grant(txn_id, resource, mode):
                 self.stats.acquired += 1
@@ -398,6 +416,35 @@ class LockManager:
                 record.granted.pop(txn_id, None)
                 if not record.granted and not record.waiters:
                     self._table.pop(resource, None)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Solo mode (single-session fast path)
+
+    @property
+    def solo_mode(self) -> bool:
+        return self._solo
+
+    def set_solo(self, solo: bool) -> None:
+        """Enter or leave the single-session fast path.
+
+        Caller must guarantee no statement is running (the session
+        manager holds the statement latch across this call).  Leaving
+        solo mode materialises every fast-path grant as an exclusive
+        ``_LockRecord`` entry: X over-approximates whatever mode was
+        requested, which is safe — it can only make the surviving
+        transaction's locks more conservative, never less.
+        """
+        with self._cond:
+            if solo == self._solo:
+                return
+            if not solo:
+                for txn_id, resources in self._held.items():
+                    for resource in resources:
+                        record = self._table.setdefault(resource, _LockRecord())
+                        record.granted[txn_id] = LockMode.X
+            self._solo = solo
+            self.solo_epoch += 1
             self._cond.notify_all()
 
     # ------------------------------------------------------------------

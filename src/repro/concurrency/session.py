@@ -199,6 +199,7 @@ class SessionManager:
         self._mu = threading.Lock()
         self._sessions: dict[int, Session] = {}
         self._counter = 0
+        self._refresh_solo()
 
     def session(self) -> Session:
         """Create a new isolated session."""
@@ -206,11 +207,28 @@ class SessionManager:
             self._counter += 1
             session = Session(self, self._counter)
             self._sessions[session.session_id] = session
-            return session
+        self._refresh_solo()
+        return session
 
     def _forget(self, session: Session) -> None:
         with self._mu:
             self._sessions.pop(session.session_id, None)
+        self._refresh_solo()
+
+    def _refresh_solo(self) -> None:
+        """Keep the lock manager's solo fast path in sync with the
+        session count.
+
+        The statement latch is taken first: no statement is mid-flight
+        while the mode flips, so ``set_solo(False)`` sees a stable
+        ``_held`` map to materialise.  The count is re-read inside the
+        latch so concurrent create/close calls converge on the final
+        census regardless of arrival order.
+        """
+        with self.latch:
+            with self._mu:
+                solo = len(self._sessions) <= 1
+            self.locks.set_solo(solo)
 
     @property
     def open_sessions(self) -> list[Session]:

@@ -77,6 +77,7 @@ class EnforcedForeignKey:
             partial_ri.uninstall(self.db, self.fk)
         remove_structure(self.db, self.fk, self.structure)
         self.db.drop_foreign_key(self.fk.name)
+        self._evict_caches()
         self._active = False
 
     def switch_structure(self, structure: IndexStructure) -> None:
@@ -90,6 +91,22 @@ class EnforcedForeignKey:
         self.index_names = apply_structure(
             self.db, self.fk, structure, self.index_kind
         )
+        self._evict_caches()
+
+    def _evict_caches(self) -> None:
+        """Drop stale probe/plan cache entries on both constraint tables.
+
+        Correctness never needs this — prepared probes and cached plans
+        re-plan themselves when ``indexes.version`` moves — but a bulk
+        structure change retires whole families of shapes at once, and
+        the advisor flow cycles structures many times; eviction keeps the
+        per-table caches from accumulating dead entries.
+        """
+        for name in (self.fk.child_table, self.fk.parent_table):
+            if name in self.db:
+                table = self.db.table(name)
+                table._probe_cache.clear()
+                table._plan_cache.clear()
 
     # ------------------------------------------------------------------
 

@@ -72,8 +72,30 @@ class BPlusTree:
         self._order = order
         self._root: _Leaf | _Internal = _Leaf()
         self._first_leaf: _Leaf = self._root  # head of the leaf chain
+        self._last_leaf: _Leaf = self._root  # tail of the leaf chain
         self._size = 0
         self._tracker = tracker
+        #: Maintained level count, valid while ``_uniform`` holds; the
+        #: insert fast paths charge it in place of a physical descent.
+        self._height = 1
+        #: All leaves at the same depth?  True until a one-child splice
+        #: during deletion shortens one subtree; the fast paths disable
+        #: themselves then, because a flat ``_height`` charge would no
+        #: longer equal the descent cost to an arbitrary leaf.
+        self._uniform = True
+        #: Leaf that received the previous insert; consecutive inserts of
+        #: equal/adjacent keys land here without descending.
+        self._hint_leaf: _Leaf | None = None
+        #: The hint leaf's exclusive upper bound: the deepest right-hand
+        #: separator on the descent path that found it.  An entry may
+        #: reuse the hint only when strictly below this bound — the leaf
+        #: chain alone cannot decide ownership, because after deletions a
+        #: separator may sit below the next leaf's first entry and a
+        #: descent would route keys in that gap to the next leaf.
+        #: Separators are only ever removed or redistributed (never
+        #: altered in place), so the cached bound can grow stale only by
+        #: *widening*, which keeps the check sound.
+        self._hint_upper: Entry | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -121,6 +143,40 @@ class BPlusTree:
     def insert(self, key: EncodedKey, rid: int) -> None:
         """Insert one entry; duplicates of (key, rid) are rejected."""
         entry: Entry = (key, rid)
+        # Fast paths: monotone (key, rid) streams append to the rightmost
+        # leaf, and runs of equal/adjacent keys reuse the previous
+        # insert's leaf.  Both charge ``index_node_reads`` as if they had
+        # descended, leave no room for a split (the leaf must have slack,
+        # so the "btree.split" fault point stays on the slow path exactly
+        # where it fired before), and require uniform leaf depth so the
+        # flat charge equals the true descent cost.
+        if self._uniform:
+            last = self._last_leaf
+            entries = last.entries
+            if entries and len(entries) < self._order and entry > entries[-1]:
+                self._count("index_node_reads", self._height)
+                entries.append(entry)
+                self._size += 1
+                self._hint_leaf = last
+                self._hint_upper = None  # rightmost: no bound to its right
+                return
+            hint = self._hint_leaf
+            if hint is not None and hint is not last:
+                hentries = hint.entries
+                if (
+                    hentries
+                    and len(hentries) < self._order
+                    and entry >= hentries[0]
+                    and self._hint_upper is not None
+                    and entry < self._hint_upper
+                ):
+                    self._count("index_node_reads", self._height)
+                    pos = bisect_left(hentries, entry)
+                    if pos < len(hentries) and hentries[pos] == entry:
+                        raise IndexError_(f"duplicate index entry {entry!r}")
+                    hentries.insert(pos, entry)
+                    self._size += 1
+                    return
         leaf, path = self._descend(entry)
         pos = bisect_left(leaf.entries, entry)
         if pos < len(leaf.entries) and leaf.entries[pos] == entry:
@@ -134,6 +190,15 @@ class BPlusTree:
         self._size += 1
         if len(leaf.entries) > self._order:
             self._split_leaf(leaf, path)
+            self._hint_leaf = None
+            self._hint_upper = None
+        else:
+            self._hint_leaf = leaf
+            upper = None
+            for node, idx in path:
+                if idx < len(node.separators):
+                    upper = node.separators[idx]
+            self._hint_upper = upper
 
     def _split_leaf(self, leaf: _Leaf, path: list[tuple[_Internal, int]]) -> None:
         mid = len(leaf.entries) // 2
@@ -142,6 +207,8 @@ class BPlusTree:
         leaf.entries = leaf.entries[:mid]
         right.next = leaf.next
         leaf.next = right
+        if leaf is self._last_leaf:
+            self._last_leaf = right
         self._insert_into_parent(path, right.entries[0], right)
 
     def _insert_into_parent(
@@ -155,6 +222,7 @@ class BPlusTree:
             new_root.separators = [separator]
             new_root.children = [self._root, new_child]
             self._root = new_root
+            self._height += 1
             return
         parent, child_idx = path.pop()
         parent.separators.insert(child_idx, separator)
@@ -202,6 +270,11 @@ class BPlusTree:
                 assert prev.next is not None, "leaf chain corrupted"
                 prev = prev.next
             prev.next = leaf.next
+            if self._last_leaf is leaf:
+                self._last_leaf = prev
+        if self._hint_leaf is leaf:
+            self._hint_leaf = None
+            self._hint_upper = None
         self._remove_child(path, leaf)
 
     def _remove_child(self, path: list[tuple[_Internal, int]], child: Any) -> None:
@@ -214,9 +287,15 @@ class BPlusTree:
         if parent is self._root:
             if len(parent.children) == 1:
                 self._root = parent.children[0]
+                self._height -= 1
             elif not parent.children:
                 self._root = _Leaf()
                 self._first_leaf = self._root
+                self._last_leaf = self._root
+                self._hint_leaf = None
+                self._hint_upper = None
+                self._height = 1
+                self._uniform = True
             return
         if not parent.children:
             self._remove_child(path, parent)
@@ -224,10 +303,13 @@ class BPlusTree:
             # Splice out the one-child internal node: its grandparent
             # adopts the child directly.  Separator bounds stay valid
             # (they only ever loosen), and the grandparent's fanout is
-            # unchanged, so no recursion is needed.
+            # unchanged, so no recursion is needed.  The adopted subtree
+            # is now one level shallower than its siblings, so the
+            # uniform-depth insert fast paths switch off.
             grandparent, parent_idx = path.pop()
             assert grandparent.children[parent_idx] is parent
             grandparent.children[parent_idx] = parent.children[0]
+            self._uniform = False
 
     def bulk_load(self, entries: list[Entry]) -> None:
         """Replace the tree contents with *entries* (sorted ascending).
@@ -241,11 +323,16 @@ class BPlusTree:
                 raise IndexError_(f"duplicate index entry {entries[i]!r}")
         self._count("index_build_entries", len(entries))
         self._size = len(entries)
+        self._hint_leaf = None
+        self._hint_upper = None
+        self._uniform = True
+        self._height = 1
         fanout = max(self._order // 2, 2)
         leaves: list[_Leaf] = []
         if not entries:
             self._root = _Leaf()
             self._first_leaf = self._root
+            self._last_leaf = self._root
             return
         for start in range(0, len(entries), fanout):
             leaf = _Leaf()
@@ -254,6 +341,7 @@ class BPlusTree:
                 leaves[-1].next = leaf
             leaves.append(leaf)
         self._first_leaf = leaves[0]
+        self._last_leaf = leaves[-1]
         level: list[Any] = leaves
         while len(level) > 1:
             parents: list[_Internal] = []
@@ -270,6 +358,7 @@ class BPlusTree:
                 node.separators = [self._lowest_entry(c) for c in group[1:]]
                 parents.append(node)
             level = parents
+            self._height += 1
         self._root = level[0]
 
     @staticmethod
@@ -324,10 +413,31 @@ class BPlusTree:
 
         This is the ``LIMIT 1`` existence probe the paper's triggers rely
         on ("referential integrity requires only one matching tuple").
+        Implemented without the scan generator machinery, charging
+        exactly what a LIMIT-1 ``scan_prefix`` charges: the descent's
+        node reads plus one per leaf-chain step, and no entries scanned
+        (the batched per-leaf charge counts entries consumed *past*, and
+        a LIMIT-1 consumer stops at the first candidate it sees).
         """
-        for entry in self.scan_prefix(prefix):
-            return entry
-        return None
+        low: Entry = (prefix, -1)
+        node: Any = self._root
+        reads = 1
+        while not node.is_leaf:
+            node = node.children[bisect_right(node.separators, low)]
+            reads += 1
+        self._count("index_node_reads", reads)
+        pos = bisect_left(node.entries, low)
+        plen = len(prefix)
+        while True:
+            entries = node.entries
+            if pos < len(entries):
+                entry = entries[pos]
+                return entry if entry[0][:plen] == prefix else None
+            node = node.next
+            if node is None:
+                return None
+            self._count("index_node_reads")
+            pos = 0
 
     def scan_all(self) -> Iterator[Entry]:
         """Yield every entry in key order."""
@@ -359,11 +469,29 @@ class BPlusTree:
         assert len(entries) == self._size, "size counter out of sync"
         chained = []
         leaf: _Leaf | None = self._first_leaf
+        tail = self._first_leaf
         while leaf is not None:
             chained.extend(leaf.entries)
+            tail = leaf
             leaf = leaf.next
         assert chained == entries, "leaf chain disagrees with tree structure"
+        assert tail is self._last_leaf, "last-leaf pointer out of date"
+        depths = {
+            depth for depth in self._leaf_depths(self._root, 1)
+        }
+        if self._uniform:
+            assert depths == {self._height}, (
+                f"uniform tree claims height {self._height}, "
+                f"found leaf depths {sorted(depths)}"
+            )
         self._check_node(self._root, None, None)
+
+    def _leaf_depths(self, node: Any, depth: int) -> Iterator[int]:
+        if node.is_leaf:
+            yield depth
+        else:
+            for child in node.children:
+                yield from self._leaf_depths(child, depth + 1)
 
     def _iter_structure(self, node: Any) -> Iterator[Entry]:
         if node.is_leaf:

@@ -34,19 +34,61 @@ EncodedComponent = tuple[int, Any]
 #: Type alias for a full encoded key.
 EncodedKey = tuple[EncodedComponent, ...]
 
+#: A row's components encoded once, indexed by column position; positions
+#: no index covers are left as None.  Every index of the table slices its
+#: key out of this instead of re-encoding per index.
+EncodedRow = list
+
+# Component interning.  Returning the same tuple object for the same
+# small value lets tuple comparison inside bisects take CPython's
+# identity fast path, and avoids one allocation per component on the
+# insert/probe hot paths.  NULL_COMPONENT is the degenerate case (a
+# single shared tuple); small non-negative ints get a precomputed table
+# and short strings a bounded memo.
+_INT_INTERN_LIMIT = 2048
+_INT_COMPONENTS: tuple[EncodedComponent, ...] = tuple(
+    (1, i) for i in range(_INT_INTERN_LIMIT)
+)
+_STR_INTERN_MAX_LEN = 32
+_STR_CACHE_LIMIT = 4096
+_STR_COMPONENTS: dict[str, EncodedComponent] = {}
+
 
 def encode_component(value: Any) -> EncodedComponent:
     """Encode one column value for use inside an index key."""
     if value is NULL:
         return NULL_COMPONENT
+    if type(value) is int and 0 <= value < _INT_INTERN_LIMIT:
+        return _INT_COMPONENTS[value]
+    if type(value) is str and len(value) <= _STR_INTERN_MAX_LEN:
+        component = _STR_COMPONENTS.get(value)
+        if component is None:
+            if len(_STR_COMPONENTS) >= _STR_CACHE_LIMIT:
+                _STR_COMPONENTS.clear()
+            component = (1, value)
+            _STR_COMPONENTS[value] = component
+        return component
     return (1, value)
 
 
 def encode_key(values: Sequence[Any]) -> EncodedKey:
     """Encode a sequence of column values into a sortable index key."""
-    return tuple(
-        NULL_COMPONENT if v is NULL else (1, v) for v in values
-    )
+    return tuple([encode_component(v) for v in values])
+
+
+def encode_row(row: Sequence[Any], positions: Sequence[int] | None = None) -> EncodedRow:
+    """Encode the components of *row* once, for all indexes to slice.
+
+    With *positions* (the union of every index's column positions), only
+    those components are encoded; the rest stay None so wide rows with
+    narrow indexes do not pay for unindexed columns.
+    """
+    if positions is None:
+        return [encode_component(v) for v in row]
+    encoded: EncodedRow = [None] * len(row)
+    for p in positions:
+        encoded[p] = encode_component(row[p])
+    return encoded
 
 
 def decode_key(key: EncodedKey) -> tuple[Any, ...]:

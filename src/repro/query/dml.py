@@ -73,7 +73,7 @@ def insert(db: "Database", table_name: str, values: Sequence[Any] | Mapping[str,
             enforcement.check_child_write(db, fk, row)
 
     fire("dml.insert.pre")
-    rid = table.insert_row(row)
+    rid = table.insert_row(row, pre_validated=True)
     _log_undo(db, ("insert", table_name, rid, row))
     fire("dml.insert.post")
     db.triggers.fire(db, table_name, TriggerEvent.AFTER_INSERT, None, row, rid)
@@ -192,7 +192,7 @@ def update_rid(
             enforcement.restrict_parent_remove(db, fk, old_row)
 
     fire("dml.update.pre")
-    table.update_rid(rid, new_row)
+    table.update_rid(rid, new_row, pre_validated=True)
     _log_undo(db, ("update", table_name, rid, old_row, new_row))
     fire("dml.update.post")
 

@@ -32,6 +32,30 @@ if TYPE_CHECKING:  # pragma: no cover
 # Child-side: inserting / updating a referencing tuple
 
 
+def _subsumption_shape(
+    fk: ForeignKey, child_fk: Sequence[Any]
+) -> tuple[tuple[str, ...], tuple[int, ...]]:
+    """The (parent columns, child-FK slots) of *child_fk*'s total part.
+
+    There are at most ``2^n`` shapes per foreign key — one per null
+    mask — and the triggers revisit them millions of times, so the
+    column lists are built once and memoized on the key itself.
+    """
+    mask = 0
+    for i, v in enumerate(child_fk):
+        if v is not NULL:
+            mask |= 1 << i
+    shapes = fk.__dict__.get("_subsumption_shapes")
+    if shapes is None:
+        shapes = fk._subsumption_shapes = {}
+    shape = shapes.get(mask)
+    if shape is None:
+        slots = tuple(i for i, v in enumerate(child_fk) if v is not NULL)
+        shape = (tuple(fk.key_columns[i] for i in slots), slots)
+        shapes[mask] = shape
+    return shape
+
+
 def check_child_write(db: "Database", fk: ForeignKey, row: Sequence[Any]) -> None:
     """Veto a child write that would violate *fk* (paper §6.1, trigger on CS).
 
@@ -51,8 +75,8 @@ def check_child_write(db: "Database", fk: ForeignKey, row: Sequence[Any]) -> Non
     if fk.match is MatchSemantics.SIMPLE and not is_total(child_fk):
         return
     db.tracker.count("state_checks")
-    columns = [k for k, v in zip(fk.key_columns, child_fk) if v is not NULL]
-    values = [v for v in child_fk if v is not NULL]
+    columns, slots = _subsumption_shape(fk, child_fk)
+    values = [child_fk[i] for i in slots]
     # Single-session this is one exists probe; on a managed session the
     # probe also takes a shared lock on the witness parent's key, so the
     # adopted reference cannot be deleted before this transaction ends
@@ -132,26 +156,20 @@ def handle_parent_removed(
     if fk.match is not MatchSemantics.PARTIAL:
         return affected
 
-    # 2. Each partial state: u = 1 .. n-1 null markers.
+    # 2. Each partial state: u = 1 .. n-1 null markers.  The per-state
+    #    column lists are value-independent, so they are compiled once
+    #    per foreign key and only the values bind per deletion.
     child = db.table(fk.child_table)
-    n = fk.n_columns
-    for state in iter_null_states(n, include_total=False, include_all_null=False):
+    parent = db.table(fk.parent_table)
+    for state, child_cols, child_nulls, parent_cols, total_positions in _state_shapes(fk):
         fire("enforce.state_probe")
         db.tracker.count("state_checks")
-        state_set = set(state)
-        total_positions = [i for i in range(n) if i not in state_set]
+        values = [parent_key[i] for i in total_positions]
         if not probes.exists_eq(
-            child,
-            [fk.fk_columns[i] for i in total_positions],
-            [parent_key[i] for i in total_positions],
-            null_columns=[fk.fk_columns[i] for i in state],
+            child, child_cols, values, null_columns=child_nulls
         ):
             continue
-        if probes.exists_eq(
-            db.table(fk.parent_table),
-            [fk.key_columns[i] for i in total_positions],
-            [parent_key[i] for i in total_positions],
-        ):
+        if probes.exists_eq(parent, parent_cols, values):
             # An alternative parent subsumes this state's children: the
             # parent row itself is already gone (AFTER DELETE), so any
             # hit is a genuine alternative.
@@ -160,6 +178,43 @@ def handle_parent_removed(
             db, fk, fk.child_state_predicate(parent_key, state), action
         )
     return affected
+
+
+def _state_shapes(
+    fk: ForeignKey,
+) -> tuple[
+    tuple[
+        tuple[int, ...],
+        tuple[str, ...],
+        tuple[str, ...],
+        tuple[str, ...],
+        tuple[int, ...],
+    ],
+    ...,
+]:
+    """Per-state probe shapes of the §6.1 state loop, memoized on *fk*.
+
+    One entry per partial null-state: (state, child equality columns,
+    child IS NULL columns, parent equality columns, total positions).
+    """
+    shapes = fk.__dict__.get("_partial_state_shapes")
+    if shapes is None:
+        n = fk.n_columns
+        built = []
+        for state in iter_null_states(n, include_total=False, include_all_null=False):
+            state_set = set(state)
+            total_positions = tuple(i for i in range(n) if i not in state_set)
+            built.append(
+                (
+                    state,
+                    tuple(fk.fk_columns[i] for i in total_positions),
+                    tuple(fk.fk_columns[i] for i in state),
+                    tuple(fk.key_columns[i] for i in total_positions),
+                    total_positions,
+                )
+            )
+        shapes = fk._partial_state_shapes = tuple(built)
+    return shapes
 
 
 def _alternative_parent_exists(

@@ -45,6 +45,8 @@ class Database:
         self.triggers = TriggerRegistry()
         self.foreign_keys: list["ForeignKey"] = []
         self.candidate_keys: dict[str, list["CandidateKey"]] = {}
+        # Per-table FK lookups resolved once; cleared on add/drop.
+        self._fk_lookup_cache: dict = {}
         self._index_order = index_order
         #: The single-session ("default") transaction slot.  Sessions
         #: created through a SessionManager carry their own slot; the
@@ -127,18 +129,30 @@ class Database:
     def add_foreign_key(self, fk: "ForeignKey") -> None:
         fk.validate_against(self)
         self.foreign_keys.append(fk)
+        self._fk_lookup_cache.clear()
 
     def drop_foreign_key(self, name: str) -> None:
         before = len(self.foreign_keys)
         self.foreign_keys = [fk for fk in self.foreign_keys if fk.name != name]
         if len(self.foreign_keys) == before:
             raise CatalogError(f"no foreign key named {name!r}")
+        self._fk_lookup_cache.clear()
 
     def foreign_keys_on_child(self, table_name: str) -> list["ForeignKey"]:
-        return [fk for fk in self.foreign_keys if fk.child_table == table_name]
+        key = ("child", table_name)
+        cached = self._fk_lookup_cache.get(key)
+        if cached is None:
+            cached = [fk for fk in self.foreign_keys if fk.child_table == table_name]
+            self._fk_lookup_cache[key] = cached
+        return cached
 
     def foreign_keys_on_parent(self, table_name: str) -> list["ForeignKey"]:
-        return [fk for fk in self.foreign_keys if fk.parent_table == table_name]
+        key = ("parent", table_name)
+        cached = self._fk_lookup_cache.get(key)
+        if cached is None:
+            cached = [fk for fk in self.foreign_keys if fk.parent_table == table_name]
+            self._fk_lookup_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Logical DML (delegates to repro.query.dml)

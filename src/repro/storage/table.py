@@ -40,6 +40,10 @@ class Table:
         # Plan cache: predicate shape -> (index name, prefix cols, filter?).
         # Owned here (not in the planner) so it dies with the table.
         self._plan_cache: dict = {}
+        # Prepared-probe cache: (columns, null_columns) -> PreparedProbe.
+        # Managed by repro.query.probes; entries re-plan themselves when
+        # ``indexes.version`` moves (the catalog epoch counter).
+        self._probe_cache: dict = {}
 
     # ------------------------------------------------------------------
 
@@ -59,9 +63,20 @@ class Table:
     # ------------------------------------------------------------------
     # Physical row operations
 
-    def insert_row(self, values: Sequence[Any] | Mapping[str, Any]) -> int:
-        """Validate and store one row, maintaining indexes + statistics."""
-        if isinstance(values, Mapping):
+    def insert_row(
+        self,
+        values: Sequence[Any] | Mapping[str, Any],
+        pre_validated: bool = False,
+    ) -> int:
+        """Validate and store one row, maintaining indexes + statistics.
+
+        ``pre_validated`` skips re-validation when the caller already
+        holds a row produced by ``schema.validate_row`` (the logical DML
+        layer validates before firing triggers).
+        """
+        if pre_validated:
+            row = tuple(values)
+        elif isinstance(values, Mapping):
             row = self.schema.row_from_mapping(values)
         else:
             row = self.schema.validate_row(values)
@@ -82,9 +97,11 @@ class Table:
         self.statistics.remove_row(row)
         return row
 
-    def update_rid(self, rid: int, new_values: Sequence[Any]) -> tuple[Row, Row]:
+    def update_rid(
+        self, rid: int, new_values: Sequence[Any], pre_validated: bool = False
+    ) -> tuple[Row, Row]:
         """Replace the row at *rid*; returns (old_row, new_row)."""
-        new_row = self.schema.validate_row(new_values)
+        new_row = tuple(new_values) if pre_validated else self.schema.validate_row(new_values)
         old_row = self.heap.get(rid)
         self.indexes.update_row(rid, old_row, new_row)
         self.heap.update(rid, new_row)
