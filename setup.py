@@ -17,5 +17,6 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
 )

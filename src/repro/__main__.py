@@ -18,6 +18,14 @@ Commands:
                             the committed BENCH_hotpath.json baseline
                             (counters must be bit-identical; wall time
                             within the tolerance)
+* ``lint [--list] [PATH ...]``
+                          — the repository-invariant static lint
+                            (repro.analysis.lint): table-driven AST
+                            rules with stable RPR00x codes (fault-point
+                            registry consistency, lock-table
+                            encapsulation, determinism, error hygiene,
+                            WAL-before-mutation, latch discipline).
+                            Exits non-zero if any rule fires.
 * ``serve [--host H] [--port P] [--demo]``
                           — start the wire server (length-prefixed JSON
                             protocol; see repro.server).  --demo preloads
@@ -236,6 +244,10 @@ def main(argv: list[str] | None = None) -> int:
         from .bench.hotpath import main as bench_main
 
         return bench_main(rest)
+    if command == "lint":
+        from .analysis.lint import main as lint_main
+
+        return lint_main(rest)
     if command == "serve":
         return _run_serve(rest)
     print(f"unknown command {command!r}", file=sys.stderr)

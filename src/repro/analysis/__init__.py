@@ -1,0 +1,20 @@
+"""Machine-checked correctness tooling for the enforcement engine.
+
+Two engines, both wired into CI's ``analysis`` job:
+
+* :mod:`repro.analysis.lockdep` — a runtime concurrency sanitizer: an
+  observer on the strict-2PL :class:`~repro.concurrency.locks.LockManager`
+  that accumulates a lock-order graph across the whole run and reports
+  *potential* deadlock cycles without needing them to fire, plus 2PL /
+  statement-latch / witness-lock discipline assertions.  Armed with
+  ``REPRO_SANITIZE=1`` or ``LockManager(sanitize=True)``; free when off.
+* :mod:`repro.analysis.lint` — a static AST lint (``python -m repro
+  lint``) with table-driven rules and stable ``RPR00x`` codes enforcing
+  the invariants the code comments otherwise only promise (fault-point
+  registry consistency, lock-table encapsulation, determinism, error
+  hygiene, WAL-before-mutation, latch discipline).
+"""
+
+from . import lint, lockdep
+
+__all__ = ["lint", "lockdep"]

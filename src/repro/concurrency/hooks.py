@@ -173,11 +173,12 @@ def verify_parent_exists(
         witness = probes.find_eq(parent, columns, values)
         if witness is None:
             return False
-        locks.acquire(
-            txn_id,
-            key_resource(fk.parent_table, fk.key_columns, fk.parent_values(witness)),
-            LockMode.S,
+        resource = key_resource(
+            fk.parent_table, fk.key_columns, fk.parent_values(witness)
         )
+        locks.acquire(txn_id, resource, LockMode.S)
+        if locks.sanitizer is not None:
+            locks.sanitizer.on_witness_pinned(txn_id, resource)
         return True
     key_columns = list(fk.key_columns)
     for __ in range(_WITNESS_RETRIES):
@@ -185,13 +186,14 @@ def verify_parent_exists(
         if witness is None:
             return False
         full_key = fk.parent_values(witness)
-        locks.acquire(
-            txn_id,
-            key_resource(fk.parent_table, fk.key_columns, full_key),
-            LockMode.S,
-        )
+        resource = key_resource(fk.parent_table, fk.key_columns, full_key)
+        locks.acquire(txn_id, resource, LockMode.S)
         # The latch may have been dropped while waiting: re-verify that
         # some parent with the locked key still exists.
         if probes.exists_eq(parent, key_columns, list(full_key)):
+            if locks.sanitizer is not None:
+                # The probe window closes here: the sanitizer checks the
+                # witness S-lock is pinned for the rest of the txn.
+                locks.sanitizer.on_witness_pinned(txn_id, resource)
             return True
     return False

@@ -42,9 +42,13 @@ import threading
 import time
 from collections.abc import Callable, Hashable, Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..errors import ConcurrencyError, DeadlockError, LockTimeoutError
 from ..testing.faults import fire
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.lockdep import LockdepObserver
 
 #: Seconds a lock request waits before giving up.  Generous enough that
 #: real contention resolves, short enough that an undetectable hang
@@ -209,6 +213,7 @@ class LockManager:
         latch: StatementLatch | None = None,
         timeout: float = DEFAULT_LOCK_TIMEOUT,
         poll_interval: float = 0.02,
+        sanitize: bool | None = None,
     ) -> None:
         self._latch = latch
         self.timeout = timeout
@@ -218,6 +223,19 @@ class LockManager:
         self._table: dict[Resource, _LockRecord] = {}
         self._held: dict[int, set[Resource]] = {}
         self.stats = LockStats()
+        #: The lockdep observer, or None (the default).  Every hot-path
+        #: crossing tests exactly ``self._sanitizer is not None`` — the
+        #: same compile-to-one-boolean discipline as the fault points.
+        #: Armed explicitly (``sanitize=True``) or by ``REPRO_SANITIZE=1``.
+        self._sanitizer: "LockdepObserver | None" = None
+        if sanitize is None:
+            from ..analysis import lockdep
+
+            sanitize = lockdep.env_enabled()
+        if sanitize:
+            from ..analysis import lockdep
+
+            self._sanitizer = lockdep.attach(self)
         #: Solo mode: with at most one session registered, no conflict is
         #: possible, so ``acquire`` records the resource in ``_held`` (for
         #: strict-2PL release and introspection) without building
@@ -254,10 +272,14 @@ class LockManager:
             # session appears mid-transaction.
             self._held.setdefault(txn_id, set()).add(resource)
             self.stats.acquired += 1
+            if self._sanitizer is not None:
+                self._sanitizer.on_acquired(txn_id, resource, mode)
             return
         with self._cond:
             if self._try_grant(txn_id, resource, mode):
                 self.stats.acquired += 1
+                if self._sanitizer is not None:
+                    self._sanitizer.on_acquired(txn_id, resource, mode)
                 return
         # Must wait.  Drop the statement latch first: the conflicting
         # holder needs it to finish its statement and commit.
@@ -289,6 +311,11 @@ class LockManager:
                 while True:
                     if self._try_grant(txn_id, resource, mode):
                         self.stats.acquired += 1
+                        # Grant-time recording: a deadlock victim never
+                        # reaches this line, so fired cycles self-suppress
+                        # in the lock-order graph (see analysis.lockdep).
+                        if self._sanitizer is not None:
+                            self._sanitizer.on_acquired(txn_id, resource, mode)
                         return
                     if waiter.victim:
                         self.stats.deadlocks += 1
@@ -417,6 +444,8 @@ class LockManager:
                 if not record.granted and not record.waiters:
                     self._table.pop(resource, None)
             self._cond.notify_all()
+        if self._sanitizer is not None:
+            self._sanitizer.on_release_all(txn_id)
 
     # ------------------------------------------------------------------
     # Solo mode (single-session fast path)
@@ -435,6 +464,10 @@ class LockManager:
         requested, which is safe — it can only make the surviving
         transaction's locks more conservative, never less.
         """
+        if self._sanitizer is not None:
+            self._sanitizer.on_solo_flip(
+                solo, self._latch.held() if self._latch is not None else None
+            )
         with self._cond:
             if solo == self._solo:
                 return
@@ -449,6 +482,11 @@ class LockManager:
 
     # ------------------------------------------------------------------
     # Introspection (tests, the server's stats op, the benchmark)
+
+    @property
+    def sanitizer(self) -> "LockdepObserver | None":
+        """The lockdep observer watching this manager, or None."""
+        return self._sanitizer
 
     def held_by(self, txn_id: int) -> set[Resource]:
         with self._mu:

@@ -8,6 +8,8 @@ and trigger aborts.
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
@@ -69,6 +71,13 @@ class SessionError(ConcurrencyError):
     """A session was used incorrectly (closed, wrong thread, ...)."""
 
 
+class AnalysisError(ReproError):
+    """A correctness-tooling check failed: the lockdep sanitizer found a
+    potential deadlock or a locking-discipline violation
+    (:func:`repro.analysis.lockdep.assert_clean`), or an analysis API was
+    misused."""
+
+
 class WalError(ReproError):
     """A write-ahead-log operation was used incorrectly (unknown
     transaction, recovery without a checkpoint...)."""
@@ -106,7 +115,7 @@ class ReferentialIntegrityViolation(IntegrityError):
     generated triggers ("No reference is found, enter a valid value").
     """
 
-    sqlstate = "02000"
+    sqlstate: ClassVar[str] = "02000"
 
 
 class RestrictViolation(IntegrityError):

@@ -93,3 +93,34 @@ class HeapFile:
 
     def rids(self) -> list[int]:
         return sorted(self._rows)
+
+    # ------------------------------------------------------------------
+    # Physical images (the WAL checkpoint/recovery path).  These are the
+    # only sanctioned way to capture or replace a heap's full state —
+    # lint rule RPR002 rejects direct `_rows` access outside this module.
+
+    def snapshot(self) -> "HeapImage":
+        """An immutable copy of the full physical state."""
+        return HeapImage(dict(self._rows), self._next_rid, list(self._free))
+
+    def restore_snapshot(self, image: "HeapImage") -> None:
+        """Replace the physical state with a previously captured image."""
+        self._rows = dict(image.rows)
+        self._next_rid = image.next_rid
+        self._free = list(image.free)
+
+
+class HeapImage:
+    """A point-in-time copy of a heap's physical state.
+
+    Deliberately dumb: three copied fields, no behaviour.  The WAL's
+    checkpoint machinery stores these and hands them back through
+    :meth:`HeapFile.restore_snapshot` during recovery.
+    """
+
+    __slots__ = ("rows", "next_rid", "free")
+
+    def __init__(self, rows: dict[int, Row], next_rid: int, free: list[int]) -> None:
+        self.rows = rows
+        self.next_rid = next_rid
+        self.free = free

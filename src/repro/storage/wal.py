@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from ..errors import WalError
+from .heap import HeapImage
 from .statistics import TableStatistics
 from .table import Table
 
@@ -75,9 +76,7 @@ class WalRecord:
 @dataclass
 class _TableSnapshot:
     schema: Any
-    rows: dict[int, tuple]
-    next_rid: int
-    free: list[int]
+    heap_image: "HeapImage"
     index_defs: list["IndexDefinition"]
 
 
@@ -266,9 +265,7 @@ class WriteAheadLog:
         for name, table in db.tables.items():
             tables[name] = _TableSnapshot(
                 schema=table.schema,
-                rows=dict(table.heap._rows),
-                next_rid=table.heap._next_rid,
-                free=list(table.heap._free),
+                heap_image=table.heap.snapshot(),
                 index_defs=[index.definition for index in table.indexes],
             )
         self._checkpoint = _Checkpoint(lsn=self._next_lsn, tables=tables)
@@ -334,10 +331,7 @@ def recover(db: "Database", wal: WriteAheadLog | None = None) -> RecoveryReport:
             if table is None:
                 table = Table(name, snap.schema, db.tracker, db._index_order)
                 db.tables[name] = table
-            heap = table.heap
-            heap._rows = dict(snap.rows)
-            heap._next_rid = snap.next_rid
-            heap._free = list(snap.free)
+            table.heap.restore_snapshot(snap.heap_image)
             index_defs[name] = list(snap.index_defs)
         # Tables born after the checkpoint: committed create_table
         # records will re-create them below; anything else died with the

@@ -49,7 +49,11 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Every fault point compiled into the engine, registered up front so
 #: harnesses can enumerate them without first running a workload.
 #: Threading a new ``faults.fire(...)`` call through the engine must be
-#: accompanied by an entry here (enforced by tests/test_faults.py).
+#: accompanied by an entry here.  This is machine-enforced twice: lint
+#: rule RPR001 (``python -m repro lint``) cross-checks every ``fire``
+#: literal in the source against this registry and vice versa, and
+#: :func:`_validate_registry` below rejects a malformed registry at
+#: import time (tests/test_faults.py asserts both agree).
 KNOWN_POINTS: tuple[str, ...] = (
     # indexes/btree.py — structural changes of the B+ tree
     "btree.split",
@@ -83,6 +87,32 @@ KNOWN_POINTS: tuple[str, ...] = (
 
 class FaultError(ReproError):
     """Default exception raised by :class:`FailInjector`."""
+
+
+def _validate_registry(points: tuple[str, ...]) -> None:
+    """Reject a malformed registry the moment the module is imported.
+
+    Duplicates would make ``install``/``uninstall`` ambiguous; names are
+    constrained to the ``layer.point[.sub]`` shape the lint rule RPR001
+    greps for, so a typo cannot silently fork the naming scheme.
+    """
+    seen: set[str] = set()
+    for point in points:
+        if point in seen:
+            raise FaultError(f"duplicate fault point {point!r} in KNOWN_POINTS")
+        seen.add(point)
+        parts = point.split(".")
+        if len(parts) < 2 or not all(
+            part and part.replace("_", "a").isalnum() and part.islower()
+            for part in parts
+        ):
+            raise FaultError(
+                f"malformed fault point name {point!r}: expected "
+                "lowercase dotted 'layer.point' segments"
+            )
+
+
+_validate_registry(KNOWN_POINTS)
 
 
 class Injector:

@@ -118,3 +118,19 @@ def _clean_fault_registry():
 
     yield
     faults.reset()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lockdep_run_report():
+    """Under ``REPRO_SANITIZE=1``, fail the run if any lock manager saw a
+    potential deadlock or a discipline violation.
+
+    This is the CI ``analysis`` job's gate: the concurrency suites are
+    re-run sanitized and must end lockdep-clean.  Tests that *seed*
+    violations on purpose isolate themselves with ``lockdep.scoped()``.
+    """
+    from repro.analysis import lockdep
+
+    yield
+    if lockdep.env_enabled():
+        lockdep.assert_clean()

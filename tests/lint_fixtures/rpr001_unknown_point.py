@@ -1,0 +1,8 @@
+"""RPR001 seed: fires a fault point that KNOWN_POINTS never registered."""
+
+from repro.testing.faults import fire
+
+
+def delete_row(rid: int) -> None:
+    fire("dml.delete.pre")          # registered: fine
+    fire("dml.delete.mid_heap")     # RPR001: not in KNOWN_POINTS

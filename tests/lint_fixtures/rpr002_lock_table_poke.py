@@ -1,0 +1,10 @@
+"""RPR002 seed: reaches into LockManager/heap internals from outside."""
+
+
+def force_release(manager, txn_id: int) -> None:
+    manager._table.clear()          # RPR002: lock table is private
+    manager._held.pop(txn_id, None)  # RPR002: so is the held map
+
+
+def compact(heap) -> None:
+    heap._rows = dict(heap._rows)   # RPR002 (x2): heap rows are private

@@ -1,0 +1,16 @@
+"""RPR003 seed: wall-clock time and randomness in an 'engine' module."""
+
+import random  # RPR003: random is bench/testing/workloads-only
+import time
+
+
+def stamp_row(row: tuple) -> tuple:
+    return row + (time.time(),)     # RPR003: wall clock in engine code
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def interval_ok(start: float) -> float:
+    return time.monotonic() - start  # fine: monotonic is allowed

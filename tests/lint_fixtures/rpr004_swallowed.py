@@ -1,0 +1,29 @@
+"""RPR004 seed: a bare except and a silently swallowed ReproError."""
+
+from repro.errors import ReproError, ReferentialIntegrityViolation
+
+
+def load(db, rows) -> None:
+    for row in rows:
+        try:
+            db.insert("c", row)
+        except:                     # RPR004: bare except
+            continue
+
+
+def load_quietly(db, rows) -> None:
+    for row in rows:
+        try:
+            db.insert("c", row)
+        except ReferentialIntegrityViolation:   # RPR004: swallowed
+            pass
+
+
+def load_handled(db, rows) -> int:
+    vetoed = 0
+    for row in rows:
+        try:
+            db.insert("c", row)
+        except ReproError:          # fine: the error is acted upon
+            vetoed += 1
+    return vetoed

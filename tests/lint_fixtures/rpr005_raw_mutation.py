@@ -1,0 +1,12 @@
+"""RPR005 seed: physical mutation that bypasses the WAL-logging layer."""
+
+from repro.query import dml
+
+
+def purge(db, table_name: str, rid: int) -> None:
+    table = db.table(table_name)
+    table.delete_rid(rid)           # RPR005: no undo/WAL record paired
+
+
+def purge_logged(db, table_name: str, rid: int) -> None:
+    dml.delete_rid(db, table_name, rid)  # fine: the sanctioned path

@@ -1,0 +1,5 @@
+"""RPR006 seed: flips the solo fast path without the statement latch."""
+
+
+def go_fast(manager) -> None:
+    manager.locks.set_solo(True)    # RPR006: only the session manager may

@@ -1,6 +1,5 @@
 """The fault-injection framework itself: registry, injectors, retry."""
 
-import re
 from pathlib import Path
 
 import pytest
@@ -43,11 +42,30 @@ class TestRegistry:
         assert db.table("t").row_count == 1
 
     def test_every_known_point_is_compiled_in(self):
-        """KNOWN_POINTS and the fire() calls in the source must agree."""
-        fired = set()
-        for path in SRC.rglob("*.py"):
-            fired.update(re.findall(r'fire\("([a-z_.]+)"\)', path.read_text()))
-        assert fired == set(faults.KNOWN_POINTS)
+        """KNOWN_POINTS and the fire() call sites must agree — checked
+        via the lint engine's AST scan (rule RPR001's machinery), which,
+        unlike a regex, ignores ``fire("...")`` mentions in docstrings."""
+        from repro.analysis import lint
+
+        assert lint.fired_points(SRC) == set(faults.KNOWN_POINTS)
+
+    def test_lint_rule_and_runtime_registry_agree(self):
+        """The single source of truth: RPR001 over the real tree reports
+        nothing, i.e. the static rule and the runtime registry coincide."""
+        from repro.analysis import lint
+
+        rule = [r for r in lint.RULES if r.code == "RPR001"]
+        violations = lint.lint_paths(SRC, rules=rule)
+        assert violations == []
+
+    def test_import_time_validation_rejects_bad_registries(self):
+        with pytest.raises(faults.FaultError):
+            faults._validate_registry(("dml.insert.pre", "dml.insert.pre"))
+        with pytest.raises(faults.FaultError):
+            faults._validate_registry(("NoDots",))
+        with pytest.raises(faults.FaultError):
+            faults._validate_registry(("Upper.Case",))
+        faults._validate_registry(faults.KNOWN_POINTS)  # the real one passes
 
     def test_names_lists_all_points(self):
         assert faults.names() == faults.KNOWN_POINTS

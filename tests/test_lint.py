@@ -1,0 +1,178 @@
+"""Tests for the repo-invariant lint (``repro.analysis.lint``).
+
+Each rule is exercised against a seeded bad snippet in
+``tests/lint_fixtures/`` (named without a ``test_`` prefix so pytest
+never collects them), and the real engine tree is asserted clean.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def _lint_fixture(name: str, module: str = "repro.query.fixture"):
+    path = FIXTURES / name
+    return lint.lint_source(path.read_text(), module, str(path))
+
+
+# ----------------------------------------------------------------------
+# One fixture per rule: exactly the seeded violations, nothing else.
+
+
+def test_rpr001_unregistered_fire_point():
+    violations = _lint_fixture("rpr001_unknown_point.py")
+    assert [v.code for v in violations] == ["RPR001"]
+    assert "dml.delete.mid_heap" in violations[0].message
+    # The registered point on the line above must NOT be flagged.
+    assert "dml.delete.pre" not in violations[0].message
+
+
+def test_rpr002_private_attribute_pokes():
+    violations = _lint_fixture("rpr002_lock_table_poke.py")
+    assert [v.code for v in violations] == ["RPR002"] * 4
+    attrs = {v.message.split("'")[1] for v in violations}
+    assert attrs == {"_table", "_held", "_rows"}
+
+
+def test_rpr002_owning_module_and_self_access_exempt():
+    source = (FIXTURES / "rpr002_lock_table_poke.py").read_text()
+    assert lint.lint_source(source, "repro.concurrency.locks") == [
+        v for v in lint.lint_source(source, "repro.concurrency.locks")
+        if v.code == "RPR002" and "_rows" in v.message
+    ]  # lock attrs exempt in the owning module; heap's _rows still flagged
+    assert lint.lint_source("self._table[key] = 1", "repro.query.dml") == []
+
+
+def test_rpr003_wall_clock_and_random():
+    violations = _lint_fixture("rpr003_wallclock.py")
+    assert [v.code for v in violations] == ["RPR003"] * 2
+    lines = {v.line for v in violations}
+    assert 3 in lines  # import random
+    assert 8 in lines  # time.time()
+    # time.monotonic() on line 16 is allowed.
+    assert 16 not in lines
+
+
+def test_rpr003_bench_and_testing_exempt():
+    source = (FIXTURES / "rpr003_wallclock.py").read_text()
+    for module in ("repro.bench.hotpath", "repro.testing.faults",
+                   "repro.workloads.generator"):
+        assert lint.lint_source(source, module) == []
+
+
+def test_rpr004_bare_except_and_swallowed_error():
+    violations = _lint_fixture("rpr004_swallowed.py")
+    assert [v.code for v in violations] == ["RPR004"] * 2
+    assert "bare" in violations[0].message
+    assert "swallowed" in violations[1].message
+    # load_handled() increments a counter — not silent, not flagged.
+    assert all(v.line < 27 for v in violations)
+
+
+def test_rpr005_raw_mutation_outside_allowlist():
+    violations = _lint_fixture("rpr005_raw_mutation.py")
+    assert [v.code for v in violations] == ["RPR005"]
+    assert ".delete_rid()" in violations[0].message
+
+
+def test_rpr005_allowlisted_modules_exempt():
+    source = (FIXTURES / "rpr005_raw_mutation.py").read_text()
+    for module in ("repro.query.dml", "repro.storage.wal",
+                   "repro.indexes.btree", "repro.workloads.loader"):
+        assert lint.lint_source(source, module) == []
+
+
+def test_rpr006_set_solo_outside_concurrency():
+    violations = _lint_fixture("rpr006_set_solo.py")
+    assert [v.code for v in violations] == ["RPR006"]
+    assert lint.lint_source(
+        (FIXTURES / "rpr006_set_solo.py").read_text(),
+        "repro.concurrency.sessions",
+    ) == []
+
+
+# ----------------------------------------------------------------------
+# Repo-level properties.
+
+
+def test_engine_tree_is_lint_clean():
+    assert lint.lint_paths(SRC) == []
+
+
+def test_fixture_directory_trips_every_rule():
+    codes = set()
+    for path in sorted(FIXTURES.glob("*.py")):
+        for violation in lint.lint_source(
+            path.read_text(), f"repro.query.{path.stem}", str(path)
+        ):
+            codes.add(violation.code)
+    assert codes == {rule.code for rule in lint.RULES}
+
+
+def test_rpr001_completeness_reports_unfired_points(tmp_path):
+    # A tree that *has* a testing/faults.py but fires nothing: every
+    # registered point must be reported as dead configuration.
+    (tmp_path / "testing").mkdir()
+    (tmp_path / "testing" / "faults.py").write_text("KNOWN = ()\n")
+    violations = lint.lint_paths(tmp_path)
+    from repro.testing.faults import KNOWN_POINTS
+
+    assert len(violations) == len(KNOWN_POINTS)
+    assert {v.code for v in violations} == {"RPR001"}
+    assert all("fired nowhere" in v.message for v in violations)
+
+
+def test_completeness_skipped_for_fixture_trees():
+    # The fixture dir has no testing/faults.py, so the repo-level
+    # completeness direction must not fire there.
+    violations = lint.lint_paths(FIXTURES)
+    assert all("fired nowhere" not in v.message for v in violations)
+    assert violations  # per-module rules still ran
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour (``python -m repro lint``).
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC.parent), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_exits_zero_on_engine_tree():
+    proc = _run_cli()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 violation(s)" in proc.stdout
+
+
+def test_cli_exits_nonzero_on_fixture_dir():
+    proc = _run_cli(str(FIXTURES))
+    assert proc.returncode == 1
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+        assert code in proc.stdout
+
+
+def test_cli_list_prints_rule_table():
+    proc = _run_cli("--list")
+    assert proc.returncode == 0
+    for rule in lint.RULES:
+        assert rule.code in proc.stdout
+
+
+def test_in_process_main_matches_subprocess(capsys):
+    assert lint.main([]) == 0
+    assert lint.main([str(FIXTURES)]) == 1
+    capsys.readouterr()

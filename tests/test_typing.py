@@ -1,0 +1,64 @@
+"""Typing satellite checks.
+
+The strict-mypy gate itself runs in CI's ``analysis`` job (mypy is not
+baked into the offline dev image); what must hold everywhere is the
+PEP 561 surface — the ``py.typed`` marker ships, packaging includes it,
+and the error hierarchy's annotations are importable facts.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import errors
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_py_typed_marker_ships_with_the_package():
+    package_dir = Path(repro.__file__).parent
+    assert (package_dir / "py.typed").is_file()
+
+
+def test_packaging_declares_py_typed():
+    pyproject = (ROOT / "pyproject.toml").read_text()
+    assert 'repro = ["py.typed"]' in pyproject
+    assert 'package_data={"repro": ["py.typed"]}' in (ROOT / "setup.py").read_text()
+
+
+def test_mypy_config_holds_engine_core_strict():
+    pyproject = (ROOT / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in pyproject
+    for package in ("repro.concurrency.*", "repro.indexes.*", "repro.storage.*"):
+        assert f'"{package}"' in pyproject
+
+
+def test_error_hierarchy_annotations():
+    assert errors.ReferentialIntegrityViolation.sqlstate == "02000"
+    assert errors.ReferentialIntegrityViolation.__annotations__[
+        "sqlstate"
+    ].startswith("ClassVar")
+    # One catchable base for the whole library; SimulatedCrash is the
+    # deliberate exception (BaseException, like KeyboardInterrupt).
+    assert issubclass(errors.AnalysisError, errors.ReproError)
+    assert not issubclass(errors.SimulatedCrash, Exception)
+
+
+@pytest.mark.slow
+def test_strict_mypy_on_engine_core():
+    mypy = pytest.importorskip("mypy")  # noqa: F841 — CI-only dependency
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy",
+         "-p", "repro.concurrency", "-p", "repro.indexes",
+         "-p", "repro.storage"],
+        cwd=str(ROOT),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
