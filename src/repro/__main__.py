@@ -26,11 +26,27 @@ Commands:
                             encapsulation, determinism, error hygiene,
                             WAL-before-mutation, latch discipline).
                             Exits non-zero if any rule fires.
-* ``serve [--host H] [--port P] [--demo]``
+* ``serve [--host H] [--port P] [--demo] [--schema S] [--data-dir D]
+          [--checkpoint-every N]``
                           — start the wire server (length-prefixed JSON
-                            protocol; see repro.server).  --demo preloads
-                            the Example 1 schema and data.  Ctrl-C stops
-                            it gracefully (open transactions roll back).
+                            protocol; see repro.server).  --demo (or
+                            --schema demo) preloads the Example 1 schema
+                            and data; --schema chaos loads the soak
+                            harness's FK pair.  --data-dir makes the WAL
+                            file-backed: acked commits survive kill -9
+                            and the server replays them on restart,
+                            checkpointing every N ledgered commits.
+                            Ctrl-C stops it gracefully (open
+                            transactions roll back).
+* ``chaos --seed N [--quick] [--cycles N] [--clients N] [--no-proxy]``
+                          — the fault-tolerance soak
+                            (repro.testing.chaos): seeded multi-client
+                            FK workload while a supervisor kill -9s and
+                            restarts the served process, with wire
+                            faults injected by a TCP proxy.  Asserts no
+                            acked commit lost, none applied twice, and
+                            verify_integrity clean after every recovery.
+                            Exits non-zero on any violation.
 """
 
 from __future__ import annotations
@@ -180,7 +196,9 @@ def _run_serve(argv: list[str]) -> int:
     from .sql import SqlSession
     from .storage.database import Database
 
-    host, port, demo = "127.0.0.1", 7654, False
+    host, port, schema = "127.0.0.1", 7654, None
+    data_dir: str | None = None
+    checkpoint_every: int | None = None
     it = iter(argv)
     for arg in it:
         if arg == "--host":
@@ -188,30 +206,58 @@ def _run_serve(argv: list[str]) -> int:
         elif arg == "--port":
             port = int(next(it, str(port)))
         elif arg == "--demo":
-            demo = True
+            schema = "demo"
+        elif arg == "--schema":
+            schema = next(it, None)
+        elif arg == "--data-dir":
+            data_dir = next(it, None)
+        elif arg == "--checkpoint-every":
+            checkpoint_every = int(next(it, "256"))
         else:
             print(f"unknown serve option {arg!r}", file=sys.stderr)
             return 1
 
-    db = Database("served")
-    if demo:
-        SqlSession(db).execute("""
-            CREATE TABLE tour (tour_id TEXT NOT NULL, site_code TEXT NOT NULL,
-                site_name TEXT, PRIMARY KEY (tour_id, site_code));
-            CREATE TABLE booking (visitor_id INTEGER NOT NULL, tour_id TEXT,
-                site_code TEXT, day TEXT,
-                FOREIGN KEY (tour_id, site_code)
-                    REFERENCES tour (tour_id, site_code)
-                    MATCH PARTIAL ON DELETE SET NULL WITH STRUCTURE bounded);
-            INSERT INTO tour VALUES ('GCG','OR','O''Reilly''s'),
-                ('BRT','OR','O''Reilly''s'), ('BRT','MV','Movie World'),
-                ('RF','BB','Binna Burra'), ('RF','OR','O''Reilly''s');
-        """)
-    server = ReproServer(db, host=host, port=port)
+    # The catalog bootstrap must be deterministic when serving durably:
+    # recovery replays heap contents over the schema built here.
+    if schema == "chaos":
+        from .testing.chaos import build_chaos_database
+
+        db = build_chaos_database()
+    else:
+        db = Database("served")
+        if schema == "demo":
+            SqlSession(db).execute("""
+                CREATE TABLE tour (tour_id TEXT NOT NULL, site_code TEXT NOT NULL,
+                    site_name TEXT, PRIMARY KEY (tour_id, site_code));
+                CREATE TABLE booking (visitor_id INTEGER NOT NULL, tour_id TEXT,
+                    site_code TEXT, day TEXT,
+                    FOREIGN KEY (tour_id, site_code)
+                        REFERENCES tour (tour_id, site_code)
+                        MATCH PARTIAL ON DELETE SET NULL WITH STRUCTURE bounded);
+                INSERT INTO tour VALUES ('GCG','OR','O''Reilly''s'),
+                    ('BRT','OR','O''Reilly''s'), ('BRT','MV','Movie World'),
+                    ('RF','BB','Binna Burra'), ('RF','OR','O''Reilly''s');
+            """)
+        elif schema is not None:
+            print(f"unknown schema {schema!r} (demo, chaos)", file=sys.stderr)
+            return 1
+    server = ReproServer(
+        db,
+        host=host,
+        port=port,
+        data_dir=data_dir,
+        checkpoint_every=checkpoint_every,
+    )
     server.start()
     print(f"repro server listening on {server.host}:{server.port}"
-          + (" (demo schema loaded)" if demo else ""))
-    print("Ctrl-C to stop (drains and rolls back open sessions).")
+          + (f" (schema {schema} loaded)" if schema else ""),
+          flush=True)
+    if server.recovery_report is not None:
+        print(f"recovered durable state: {server.recovery_report}", flush=True)
+    wal = server.db.wal
+    if wal is not None and wal.torn_tail is not None:
+        print(f"torn log tail truncated: {wal.torn_tail}", flush=True)
+    print("Ctrl-C to stop (drains and rolls back open sessions).", flush=True)
     try:
         while True:
             time.sleep(3600)
@@ -250,6 +296,10 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(rest)
     if command == "serve":
         return _run_serve(rest)
+    if command == "chaos":
+        from .testing.chaos import main as chaos_main
+
+        return chaos_main(rest)
     print(f"unknown command {command!r}", file=sys.stderr)
     print(__doc__)
     return 1

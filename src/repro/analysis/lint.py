@@ -39,6 +39,11 @@ The rules:
 ``RPR006`` latch discipline — ``LockManager.set_solo`` may be called
     only from ``concurrency`` modules (the session manager holds the
     statement latch across it; arbitrary callers cannot).
+``RPR007`` guarded wire I/O — every raw socket ``send``/``sendall``/
+    ``recv``/``accept`` in ``repro.server`` must sit in a function that
+    also crosses a fault point (``fire(...)``) or sets an explicit
+    ``settimeout``: unguarded wire I/O is invisible to the fault
+    injection harness and can stall a worker thread forever.
 """
 
 from __future__ import annotations
@@ -329,6 +334,61 @@ def _check_set_solo(
 
 
 # ----------------------------------------------------------------------
+# RPR007 — guarded wire I/O in the serving layer
+
+_SOCKET_CALLS = {"recv", "send", "sendall", "accept"}
+
+_SOCKET_GUARDED = ("repro.server",)
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of *func* excluding nested function/lambda bodies, so each
+    socket call is judged against its innermost enclosing function."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_socket_guards(
+    module: ModuleName, tree: ast.Module
+) -> Iterator[tuple[int, str]]:
+    if not _in(module, _SOCKET_GUARDED):
+        return
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        guarded = False
+        socket_calls: list[tuple[int, str]] = []
+        for node in _own_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = (
+                callee.id if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute)
+                else None
+            )
+            if name == "fire" or name == "settimeout":
+                guarded = True
+            elif name in _SOCKET_CALLS:
+                socket_calls.append((node.lineno, name))
+        if not guarded:
+            for line, name in sorted(socket_calls):
+                yield (
+                    line,
+                    f"raw socket .{name}() with no fault point and no "
+                    "explicit timeout in this function; add a "
+                    "fire('wire.*') crossing or a settimeout() so fault "
+                    "injection sees it and a stalled peer cannot pin "
+                    "the thread",
+                )
+
+
+# ----------------------------------------------------------------------
 # The rule table and the driver
 
 RULES: tuple[Rule, ...] = (
@@ -344,6 +404,8 @@ RULES: tuple[Rule, ...] = (
          _check_wal_before_mutation),
     Rule("RPR006", "set_solo only from the latched session manager",
          _check_set_solo),
+    Rule("RPR007", "server socket I/O guarded by fault point or timeout",
+         _check_socket_guards),
 )
 
 

@@ -49,6 +49,9 @@ class Session:
         self.session_id = session_id
         self._transaction: "Transaction | None" = None
         self._closed = False
+        #: One-shot annotation consumed by the next commit on this
+        #: session (see :meth:`annotate_next_commit`).
+        self._commit_note: Any = None
 
     # ------------------------------------------------------------------
     # Thread binding
@@ -149,6 +152,25 @@ class Session:
         limit: int | None = None,
     ) -> list[tuple[Any, ...]]:
         return self.execute(lambda: self.db.select(table, predicate, columns, limit))
+
+    # ------------------------------------------------------------------
+    # Commit annotation (exactly-once ledger support)
+
+    def annotate_next_commit(self, note: Any) -> None:
+        """Attach *note* to the next commit this session performs.
+
+        The note rides inside the WAL commit record
+        (:meth:`repro.storage.wal.WriteAheadLog.commit`), making it
+        durable exactly iff the commit is — the server's exactly-once
+        result ledger is built on this.  The annotation is one-shot:
+        commit consumes it, rollback discards it.
+        """
+        self._commit_note = note
+
+    def _take_commit_note(self) -> Any:
+        note = self._commit_note
+        self._commit_note = None
+        return note
 
     # ------------------------------------------------------------------
 

@@ -228,8 +228,16 @@ class Transaction:
             return  # a crashed process commits nothing
         if self._state != _OPEN:
             raise TransactionError(f"cannot commit: transaction {self._state}")
+        # A pending session annotation (exactly-once ledger entry) rides
+        # inside the commit record; consume it even without a WAL so a
+        # stale note can never attach to a later commit.
+        note = (
+            self.session._take_commit_note()
+            if self.session is not None
+            else None
+        )
         if self.wal_txn_id is not None:
-            self._db.wal.commit(self.wal_txn_id)
+            self._db.wal.commit(self.wal_txn_id, note)
         self._undo.clear()
         self._close(_COMMITTED)
 
@@ -251,6 +259,8 @@ class Transaction:
         for entry in reversed(self._undo):
             self._undo_entry(entry)
         self._undo.clear()
+        if self.session is not None:
+            self.session._take_commit_note()  # discard: nothing committed
         if self.wal_txn_id is not None:
             self._db.wal.abort(self.wal_txn_id)
         self._close(_ROLLED_BACK)

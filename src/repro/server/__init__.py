@@ -13,14 +13,19 @@ Quickstart::
 Or from the command line: ``python -m repro serve --port 7654``.
 """
 
-from .client import ReproClient, ServerError
+from .client import DeliveryUnknown, ReproClient, ServerError, TransactionTorn
+from .ledger import LedgerError, ResultLedger
 from .server import Overloaded, ReproServer
 from .wire import WireError
 
 __all__ = [
+    "DeliveryUnknown",
+    "LedgerError",
     "Overloaded",
     "ReproClient",
     "ReproServer",
+    "ResultLedger",
     "ServerError",
+    "TransactionTorn",
     "WireError",
 ]

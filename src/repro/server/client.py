@@ -10,32 +10,105 @@ SQL NULL is plain ``None`` on this side of the wire::
         client.insert("booking", [1001, "BRT", None, "Nov 21"])
         client.execute("COMMIT")
 
+**Exactly-once mutations.**  Every mutating request is stamped with this
+client's ``client_id`` and a monotonic ``request_id``.  When a send or a
+reply tears (server killed, proxy dropped the frame), the outcome of
+that exchange is *unknown*, so the client reconnects — patiently, to
+ride out a server restart — and re-sends the **same** stamped message;
+the server's result ledger replays the original acknowledgement if the
+first attempt committed, and executes normally if it never arrived.
+Only when every redelivery fails does :class:`DeliveryUnknown` surface,
+and it is never retried under a fresh stamp.
+
 Server-side failures surface as :class:`ServerError`; its ``retryable``
 flag mirrors the server's judgement (deadlock victim, lock timeout,
-admission rejection).  :meth:`ReproClient.retrying` wraps any call in
-the engine's capped-backoff retry loop for exactly those errors.
+admission rejection) and an error response proves the request did *not*
+commit — :meth:`ReproClient.retrying` may therefore re-issue the call
+under a new request id, honouring the server's ``retry_after`` hint
+when one is given (admission control scales it with queue depth).
 """
 
 from __future__ import annotations
 
+import re
 import socket
+import time
+import uuid
 from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
 
 from ..errors import ReproError
-from ..testing.faults import retry_transient
 from . import wire
 
 T = TypeVar("T")
 
+#: Ops the server ledgers: stamped with (client, req) automatically.
+_STAMPED_OPS = frozenset({"insert", "delete", "update", "execute", "commit"})
+
+_TXN_TOKEN = re.compile(r"\b(begin|commit|rollback)\b", re.IGNORECASE)
+
+
+def _txn_effect(sql: str) -> str | None:
+    """Net transaction-control effect of a SQL batch.
+
+    Returns ``"begin"`` when the batch leaves a transaction open,
+    ``"end"`` when it closes one, ``None`` when it contains no
+    transaction control.  Decided by the *last* BEGIN/COMMIT/ROLLBACK
+    token outside string literals — a client-side heuristic mirror of
+    the server's real parse, used only to pick the redelivery policy
+    and track :attr:`ReproClient._in_txn` for SQL-text transactions.
+    """
+    tokens = _TXN_TOKEN.findall(re.sub(r"'[^']*'", " ", sql))
+    if not tokens:
+        return None
+    return "begin" if tokens[-1].lower() == "begin" else "end"
+
 
 class ServerError(ReproError):
-    """An error response from the server."""
+    """An error response from the server.
 
-    def __init__(self, message: str, error_type: str, retryable: bool) -> None:
+    Receiving one proves the request was *not* committed (the server
+    answered after deciding), so callers may retry under a new stamp.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        error_type: str,
+        retryable: bool,
+        retry_after: float | None = None,
+        rolled_back: bool = False,
+    ) -> None:
         super().__init__(message)
         self.error_type = error_type
         self.retryable = retryable
+        #: Server-suggested backoff (admission control sets it from the
+        #: queue depth); ``None`` when the server offered no hint.
+        self.retry_after = retry_after
+        #: True when the server rolled the session's transaction back
+        #: before answering (deadlock victims, lock timeouts).
+        self.rolled_back = rolled_back
+
+
+class DeliveryUnknown(ReproError):
+    """Every delivery attempt tore; the request's outcome is unknown.
+
+    The one error an exactly-once client must *not* retry under a fresh
+    request id — the original stamp may still commit server-side.
+    Re-issue the same operation on a recovered connection (the ledger
+    disambiguates) or surface the uncertainty to the application.
+    """
+
+
+class TransactionTorn(ReproError):
+    """The connection died inside an explicit transaction.
+
+    The server rolls an open transaction back when its connection dies,
+    so nothing of the transaction survived — re-run it from ``begin``.
+    Raised instead of redelivering, because a mid-transaction statement
+    replayed onto a fresh session would execute as its own autocommit
+    statement, outside the transaction it belonged to.
+    """
 
 
 class ReproClient:
@@ -44,49 +117,201 @@ class ReproClient:
     Not thread-safe: a connection is one session, and sessions (like SQL
     connections everywhere) are single-threaded.  Open one client per
     worker thread.
+
+    With ``auto_reconnect`` (the default), a torn exchange triggers
+    transparent reconnect-and-redeliver under the same idempotency
+    stamp.  Note a reconnect lands on a *fresh server session*: an open
+    explicit transaction was already rolled back when the old connection
+    died, so a redelivered ``commit`` correctly reports "no transaction
+    to commit" unless the original commit made it (then the ledger
+    replays its acknowledgement).
     """
 
     def __init__(
-        self, host: str, port: int, connect_timeout: float = 5.0
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        client_id: str | None = None,
+        auto_reconnect: bool = True,
+        redeliveries: int = 6,
+        reconnect_attempts: int = 30,
+        reconnect_delay: float = 0.05,
     ) -> None:
-        self._sock = socket.create_connection((host, port), connect_timeout)
+        self._host = host
+        self._port = port
+        self._connect_timeout = connect_timeout
+        #: Stable identity for the server's result ledger.
+        self.client_id = client_id if client_id is not None else uuid.uuid4().hex
+        self.auto_reconnect = auto_reconnect
+        self.redeliveries = redeliveries
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_delay = reconnect_delay
+        self._request_id = 0
+        #: How many times this client re-established its connection.
+        self.reconnects = 0
+        #: Tracks ``begin``/``commit``/``rollback`` — structured ops and
+        #: SQL-text batches alike — so a torn statement inside an
+        #: explicit transaction raises TransactionTorn instead of being
+        #: redelivered out of context.
+        self._in_txn = False
+        self._sock: socket.socket | None = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), self._connect_timeout
+        )
         self._sock.settimeout(None)
 
     # ------------------------------------------------------------------
 
     def request(self, op: str, **payload: Any) -> dict[str, Any]:
-        """One round-trip; raises :class:`ServerError` on failure."""
-        wire.send_frame(self._sock, {"op": op, **payload})
+        """One (redelivered-if-torn) exchange; :class:`ServerError` on
+        failure responses, :class:`DeliveryUnknown` when no attempt
+        completed, :class:`TransactionTorn` when the connection died
+        mid-transaction on a non-commit statement."""
+        message = {"op": op, **payload}
+        if op in _STAMPED_OPS and "client" not in message:
+            self._request_id += 1
+            message["client"] = self.client_id
+            message["req"] = self._request_id
+        # SQL-text transactions (execute("BEGIN") ... execute("COMMIT"))
+        # get the same taxonomy as the structured ops: a batch that ends
+        # the transaction is redeliverable (the server ledgers it), one
+        # that does not must not be replayed out of context.
+        effect = None
+        if op == "execute" and isinstance(payload.get("sql"), str):
+            effect = _txn_effect(payload["sql"])
+        ends_txn = op in ("commit", "rollback") or effect == "end"
+        # A non-commit statement inside an explicit transaction must not
+        # be redelivered: the server rolled the transaction back when the
+        # connection died, and a replay on a fresh session would commit
+        # the statement on its own, outside the dead transaction.
+        redeliver = not (self._in_txn and not ends_txn)
+        try:
+            response = self._deliver(message, redeliver)
+        except (wire.WireError, OSError) as exc:
+            if redeliver:
+                raise  # auto_reconnect disabled: surface the raw failure
+            self._in_txn = False
+            raise TransactionTorn(
+                f"connection died inside an explicit transaction (on "
+                f"{op!r}); the server rolled it back — re-run from begin"
+            ) from exc
+        except DeliveryUnknown:
+            if ends_txn:
+                self._in_txn = False  # the disconnected session's txn died
+            raise
+        except ServerError as exc:
+            if exc.rolled_back or ends_txn:
+                self._in_txn = False
+            raise
+        if op == "begin" or effect == "begin":
+            self._in_txn = True
+        elif ends_txn:
+            self._in_txn = False
+        return response
+
+    def _deliver(
+        self, message: dict[str, Any], redeliver: bool = True
+    ) -> dict[str, Any]:
+        try:
+            return self._roundtrip(message)
+        except (wire.WireError, OSError) as exc:
+            if not self.auto_reconnect or not redeliver:
+                raise
+            last: Exception = exc
+        # The exchange tore mid-flight: reconnect (patiently — the
+        # server may be restarting) and re-send the SAME message.  The
+        # idempotency stamp makes this safe: if the first attempt
+        # committed, the ledger replays its acknowledged result.  The
+        # backoff between redeliveries matters when a proxy or load
+        # balancer accepts connections a dead upstream can't serve —
+        # reconnecting then succeeds instantly but the exchange still
+        # tears, so the reconnect loop's own patience never engages.
+        delay = self.reconnect_delay
+        for attempt in range(self.redeliveries):
+            if attempt:
+                time.sleep(min(delay, 1.0))
+                delay *= 2
+            try:
+                self._reconnect()
+                return self._roundtrip(message)
+            except (wire.WireError, OSError) as exc:
+                last = exc
+        raise DeliveryUnknown(
+            f"request {message.get('op')!r} outcome unknown after "
+            f"{self.redeliveries} redeliveries: {last}"
+        ) from last
+
+    def _roundtrip(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self._sock is None:
+            raise wire.WireError("client is closed")
+        wire.send_frame(self._sock, message)
         response = wire.recv_frame(self._sock)
         if response is None:
             raise wire.WireError("server closed the connection")
         if not response.get("ok"):
+            retry_after = response.get("retry_after")
             raise ServerError(
                 response.get("error", "unknown server error"),
                 response.get("error_type", "ReproError"),
                 bool(response.get("retryable")),
+                float(retry_after) if retry_after is not None else None,
+                bool(response.get("rolled_back")),
             )
         return response
 
-    def retrying(
-        self, fn: Callable[[], T], attempts: int = 6, base_delay: float = 0.005
-    ) -> T:
-        """Run *fn*, retrying retryable server errors with capped backoff."""
+    def _reconnect(self) -> None:
+        self.close()
+        delay = self.reconnect_delay
+        last: Exception | None = None
+        for __ in range(self.reconnect_attempts):
+            try:
+                self._connect()
+                self.reconnects += 1
+                return
+            except OSError as exc:
+                last = exc
+                time.sleep(min(delay, 1.0))
+                delay *= 2
+        raise wire.WireError(
+            f"could not reconnect to {self._host}:{self._port} after "
+            f"{self.reconnect_attempts} attempts"
+        ) from last
 
-        def once() -> T:
+    def retrying(
+        self,
+        fn: Callable[[], T],
+        attempts: int = 6,
+        base_delay: float = 0.005,
+        max_delay: float = 0.25,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> T:
+        """Run *fn*, retrying retryable server errors with capped backoff.
+
+        An error response proves nothing committed, so each retry runs
+        under a fresh request id (``fn`` re-stamps).  The server's
+        ``retry_after`` hint, when present, overrides the local backoff
+        schedule.  :class:`DeliveryUnknown` is deliberately *not*
+        retried here — its outcome is undecided, not failed.
+        """
+        delay = base_delay
+        for attempt in range(attempts):
             try:
                 return fn()
             except ServerError as exc:
-                if exc.retryable:
-                    raise _RetryableServerError(str(exc)) from exc
-                raise
-
-        return retry_transient(
-            once,
-            attempts=attempts,
-            base_delay=base_delay,
-            retry_on=(_RetryableServerError,),
-        )
+                if not exc.retryable or attempt == attempts - 1:
+                    raise
+                wait = (
+                    exc.retry_after
+                    if exc.retry_after is not None
+                    else min(delay, max_delay)
+                )
+                sleep(wait)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Ops
@@ -96,7 +321,9 @@ class ReproClient:
         return self.request("ping")["session_id"]
 
     def execute(self, sql: str) -> list[dict[str, Any]]:
-        return self.request("execute", sql=sql)["results"]
+        # A redelivered COMMIT batch may replay as the ledger's
+        # ``result_lost`` marker, which carries no per-statement results.
+        return self.request("execute", sql=sql).get("results", [])
 
     def insert(self, table: str, values: Sequence[Any]) -> int:
         return self.request("insert", table=table, values=list(values))["rid"]
@@ -129,8 +356,8 @@ class ReproClient:
     def begin(self) -> int:
         return self.request("begin")["txn_id"]
 
-    def commit(self) -> None:
-        self.request("commit")
+    def commit(self) -> dict[str, Any]:
+        return self.request("commit")
 
     def rollback(self) -> None:
         self.request("rollback")
@@ -144,17 +371,16 @@ class ReproClient:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:
             pass
+        self._sock = None
 
     def __enter__(self) -> "ReproClient":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
-
-
-class _RetryableServerError(ReproError):
-    """Internal: adapts retryable ServerErrors to retry_transient."""

@@ -22,6 +22,19 @@ Request ops (all JSON, see :mod:`repro.server.wire` for framing):
 Error responses carry ``retryable``: deadlock victims, lock timeouts,
 injected transient faults and admission rejections are safe to retry
 after the automatic rollback; integrity vetoes are semantic and are not.
+``Overloaded`` rejections additionally carry a ``retry_after`` hint
+derived from the admission-queue depth, which well-behaved clients honor
+instead of blind backoff.
+
+**Fault tolerance** (DESIGN.md §5g): started with a ``data_dir``, the
+server attaches a file-backed WAL (:func:`repro.storage.wal.open_durable`)
+and replays the pre-crash database on start, so ``kill -9`` loses no
+acknowledged commit.  Mutating requests stamped with a monotonic
+``(client, req)`` pair get exactly-once semantics: the result is
+persisted *inside* the WAL commit record and a reconnect-and-retry
+replays the acknowledged answer from the
+:class:`~repro.server.ledger.ResultLedger` instead of re-executing the
+triggers.
 
 Graceful shutdown (:meth:`ReproServer.shutdown`) stops accepting, lets
 in-flight requests finish, rolls back every open session transaction
@@ -47,23 +60,42 @@ from ..sql import ast as sql_ast
 from ..sql import parse
 from ..sql.interpreter import SqlSession
 from ..storage.database import Database
+from ..storage.wal import open_durable
 from ..testing.faults import fire
 from . import wire
+from .ledger import LedgerEntry, ResultLedger
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..concurrency.session import Session
+    from ..storage.wal import RecoveryReport
 
 #: Granted to admission-queue waits before the request is bounced.
 DEFAULT_ADMISSION_TIMEOUT = 2.0
+
+#: A reply send blocked longer than this disconnects the (stalled)
+#: reader instead of pinning a worker thread forever.
+DEFAULT_SEND_TIMEOUT = 10.0
+
+#: Ledgered commits between durable checkpoints (log compaction).
+DEFAULT_CHECKPOINT_EVERY = 256
 
 #: How often blocked accept/recv loops wake to check for shutdown.
 _POLL_S = 0.2
 
 _RETRYABLE = (DeadlockError, LockTimeoutError, TransientFault)
 
+#: Ops that may commit under an idempotency key.  ``begin`` is absent on
+#: purpose: retrying it on a fresh connection is inherently safe (the
+#: torn connection's transaction was rolled back at disconnect).
+_LEDGERED_OPS = frozenset({"insert", "delete", "update", "execute", "commit"})
+
 
 class Overloaded(ReproError):
-    """Admission control rejected the request; retry after backoff."""
+    """Admission control rejected the request; retry after the hint."""
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ServerStats:
@@ -76,6 +108,10 @@ class ServerStats:
         self.errors = 0
         self.rejected = 0
         self.rolled_back_on_shutdown = 0
+        self.send_timeouts = 0
+        self.idempotent_replays = 0
+        self.accept_faults = 0
+        self.checkpoints = 0
 
     def bump(self, field: str, by: int = 1) -> None:
         with self._mu:
@@ -89,6 +125,10 @@ class ServerStats:
                 "errors": self.errors,
                 "rejected": self.rejected,
                 "rolled_back_on_shutdown": self.rolled_back_on_shutdown,
+                "send_timeouts": self.send_timeouts,
+                "idempotent_replays": self.idempotent_replays,
+                "accept_faults": self.accept_faults,
+                "checkpoints": self.checkpoints,
             }
 
 
@@ -103,6 +143,10 @@ class ReproServer:
         max_inflight: int = 8,
         admission_timeout: float = DEFAULT_ADMISSION_TIMEOUT,
         lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+        send_timeout: float = DEFAULT_SEND_TIMEOUT,
+        data_dir: str | None = None,
+        checkpoint_every: int | None = None,
+        ledger_capacity: int = 1024,
     ) -> None:
         self.db = db if db is not None else Database("served")
         if self.db.session_manager is None:
@@ -113,13 +157,30 @@ class ReproServer:
         self.stats = ServerStats()
         self.max_inflight = max_inflight
         self.admission_timeout = admission_timeout
+        self.send_timeout = send_timeout
         self._admission = threading.Semaphore(max_inflight)
+        self._admission_mu = threading.Lock()
+        self._admission_waiting = 0
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._handlers: list[threading.Thread] = []
         self._handlers_mu = threading.Lock()
         self._stopping = threading.Event()
         self._started = False
+        # Durability: a data_dir makes the WAL file-backed and replays
+        # the pre-crash database (plus the exactly-once ledger) on start.
+        self.ledger = ResultLedger(capacity=ledger_capacity)
+        self.data_dir = data_dir
+        self.recovery_report: "RecoveryReport | None" = None
+        if checkpoint_every is None:
+            checkpoint_every = DEFAULT_CHECKPOINT_EVERY if data_dir else 0
+        self.checkpoint_every = checkpoint_every
+        self._commits_since_checkpoint = 0
+        if data_dir is not None:
+            wal, self.recovery_report = open_durable(self.db, data_dir)
+            self.ledger.restore(
+                wal.checkpoint_extras.get("ledger"), wal.durable_records
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -191,6 +252,13 @@ class ReproServer:
                 continue
             except OSError:
                 break
+            try:
+                fire("wire.accept")
+            except ReproError:
+                # Injected accept fault: shed the connection at the door.
+                self.stats.bump("accept_faults")
+                conn.close()
+                continue
             self.stats.bump("connections_total")
             thread = threading.Thread(
                 target=self._handle_connection,
@@ -216,13 +284,19 @@ class ReproServer:
                     break
                 if request is None:
                     break  # clean EOF
-                conn.settimeout(None)  # replies must not be torn
+                # Replies must not be torn, but a stalled reader must
+                # not pin this worker forever either: bound the send and
+                # disconnect the offender on timeout.
+                conn.settimeout(self.send_timeout)
                 try:
                     response = self._dispatch(session, sql_session, request)
                 except Exception as exc:  # noqa: BLE001 - boundary
                     response = self._error_response(session, exc)
                 try:
                     wire.send_frame(conn, response)
+                except socket.timeout:
+                    self.stats.bump("send_timeouts")
+                    break
                 except OSError:
                     break
                 finally:
@@ -257,7 +331,87 @@ class ReproServer:
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             raise ReproError(f"unknown op {op!r}")
-        return handler(session, sql_session, request)
+
+        # Exactly-once: a stamped mutating request first consults the
+        # ledger (a hit replays the acknowledged result without touching
+        # the database), then executes with a LedgerEntry annotated onto
+        # the session so the commit record persists its result.
+        entry = self._ledger_entry_for(session, op, request)
+        if entry is not None:
+            cached = self.ledger.replay(entry.client_id, entry.request_id)
+            if cached is not None:
+                self.stats.bump("idempotent_replays")
+                return cached
+            session.annotate_next_commit(entry)
+        try:
+            response = handler(session, sql_session, request, entry)
+        finally:
+            committed = entry is not None and session._commit_note is None
+            session.annotate_next_commit(None)
+        if entry is not None and committed:
+            self.ledger.record(entry.client_id, entry.request_id, entry.result)
+            self._commits_since_checkpoint += 1
+            self._maybe_checkpoint()
+        return response
+
+    def _ledger_entry_for(
+        self, session: "Session", op: Any, request: dict[str, Any]
+    ) -> LedgerEntry | None:
+        if op not in _LEDGERED_OPS:
+            return None
+        client, req = request.get("client"), request.get("req")
+        if not isinstance(client, str) or not isinstance(req, int):
+            return None
+        if op != "commit" and session.in_transaction:
+            # A statement inside an explicit transaction commits nothing
+            # by itself; only the final commit earns a ledger entry.  The
+            # exception is an ``execute`` batch whose SQL itself contains
+            # COMMIT — it ends the transaction, so its stamp must be
+            # ledgered for the same torn-ack disambiguation as the
+            # structured commit op.
+            if not (op == "execute" and self._sql_commits(request.get("sql"))):
+                return None
+        return LedgerEntry(client, req)
+
+    @staticmethod
+    def _sql_commits(sql: Any) -> bool:
+        if not isinstance(sql, str):
+            return False
+        return any(isinstance(s, sql_ast.Commit) for s in parse(sql))
+
+    def _maybe_checkpoint(self) -> None:
+        """Compact the durable log once enough commits accumulated.
+
+        Runs opportunistically on a handler thread after its own
+        statement finished.  The statement latch excludes concurrent
+        statements; any *idle* open transaction defers the checkpoint to
+        a later commit (a checkpoint must snapshot a committed state).
+        """
+        wal = self.db.wal
+        if (
+            wal is None
+            or not wal.is_durable
+            or self.checkpoint_every <= 0
+            or self._commits_since_checkpoint < self.checkpoint_every
+        ):
+            return
+        with self.sessions.latch:
+            if any(s.in_transaction for s in self.sessions.open_sessions):
+                return
+            wal.checkpoint(self.db, extras={"ledger": self.ledger.snapshot()})
+            self._commits_since_checkpoint = 0
+            self.stats.bump("checkpoints")
+
+    @staticmethod
+    def _fill(
+        entry: LedgerEntry | None, response: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Record *response* as the entry's result — called inside the
+        transaction, i.e. before the commit flush serialises the entry
+        into the durable commit record."""
+        if entry is not None:
+            entry.result = response
+        return response
 
     def _error_response(self, session: "Session", exc: Exception) -> dict[str, Any]:
         self.stats.bump("errors")
@@ -271,20 +425,37 @@ class ReproServer:
         if isinstance(exc, _RETRYABLE) and session.in_transaction:
             session.rollback()
             rolled_back = True
-        return {
+        response = {
             "ok": False,
             "error": str(exc),
             "error_type": type(exc).__name__,
             "retryable": retryable,
             "rolled_back": rolled_back,
         }
+        if isinstance(exc, Overloaded):
+            response["retry_after"] = exc.retry_after
+        return response
 
     def _admitted(self, fn):
-        """Run *fn* under admission control (bounded in-flight work)."""
-        if not self._admission.acquire(timeout=self.admission_timeout):
+        """Run *fn* under admission control (bounded in-flight work).
+
+        A rejection's ``retry_after`` hint scales with how many other
+        requests were queued at that moment — the deeper the queue, the
+        longer a well-behaved client should stay away.
+        """
+        with self._admission_mu:
+            self._admission_waiting += 1
+        try:
+            admitted = self._admission.acquire(timeout=self.admission_timeout)
+        finally:
+            with self._admission_mu:
+                self._admission_waiting -= 1
+                depth = self._admission_waiting
+        if not admitted:
             raise Overloaded(
                 f"more than {self.max_inflight} statements in flight; "
-                "retry after backoff"
+                "retry after backoff",
+                retry_after=min(2.0, 0.05 * (depth + 1)),
             )
         try:
             return fn()
@@ -292,12 +463,14 @@ class ReproServer:
             self._admission.release()
 
     # ------------------------------------------------------------------
-    # Ops
+    # Ops.  Mutating handlers fill their LedgerEntry *inside* the
+    # transaction closure, so the acknowledged result is serialised into
+    # the durable commit record before the commit is acknowledged.
 
-    def _op_ping(self, session, sql_session, request) -> dict[str, Any]:
+    def _op_ping(self, session, sql_session, request, entry) -> dict[str, Any]:
         return {"ok": True, "pong": True, "session_id": session.session_id}
 
-    def _op_execute(self, session, sql_session, request) -> dict[str, Any]:
+    def _op_execute(self, session, sql_session, request, entry) -> dict[str, Any]:
         sql = request.get("sql")
         if not isinstance(sql, str):
             raise ReproError("execute needs a 'sql' string")
@@ -323,38 +496,57 @@ class ReproServer:
             if txn_control or session.in_transaction:
                 # BEGIN/COMMIT manage the session transaction themselves;
                 # inside an explicit transaction nothing auto-commits.
+                # A COMMIT in here fires before the batch's results are
+                # assembled, so a replay of this request returns the
+                # ledger's ``result_lost`` marker instead of the rows.
                 with session.use():
                     with session.db_latch():
                         return run()
-            return session.execute(run)
+
+            def work() -> list[dict[str, Any]]:
+                results = run()
+                self._fill(entry, {"ok": True, "results": results})
+                return results
+
+            return session.execute(work)
 
         return {"ok": True, "results": self._admitted(statement)}
 
-    def _op_insert(self, session, sql_session, request) -> dict[str, Any]:
+    def _op_insert(self, session, sql_session, request, entry) -> dict[str, Any]:
         table = request["table"]
         values = wire.decode_values(request["values"])
-        rid = self._admitted(lambda: session.insert(table, values))
-        return {"ok": True, "rid": rid}
 
-    def _op_delete(self, session, sql_session, request) -> dict[str, Any]:
+        def work() -> dict[str, Any]:
+            rid = self.db.insert(table, values)
+            return self._fill(entry, {"ok": True, "rid": rid})
+
+        return self._admitted(lambda: session.execute(work))
+
+    def _op_delete(self, session, sql_session, request, entry) -> dict[str, Any]:
         table = request["table"]
         predicate = _predicate_from(request.get("equals"))
-        count = self._admitted(lambda: session.delete_where(table, predicate))
-        return {"ok": True, "rowcount": count}
 
-    def _op_update(self, session, sql_session, request) -> dict[str, Any]:
+        def work() -> dict[str, Any]:
+            count = self.db.delete_where(table, predicate)
+            return self._fill(entry, {"ok": True, "rowcount": count})
+
+        return self._admitted(lambda: session.execute(work))
+
+    def _op_update(self, session, sql_session, request, entry) -> dict[str, Any]:
         table = request["table"]
         assignments = {
             column: wire.decode_value(value)
             for column, value in request["assignments"].items()
         }
         predicate = _predicate_from(request.get("equals"))
-        count = self._admitted(
-            lambda: session.update_where(table, assignments, predicate)
-        )
-        return {"ok": True, "rowcount": count}
 
-    def _op_select(self, session, sql_session, request) -> dict[str, Any]:
+        def work() -> dict[str, Any]:
+            count = self.db.update_where(table, assignments, predicate)
+            return self._fill(entry, {"ok": True, "rowcount": count})
+
+        return self._admitted(lambda: session.execute(work))
+
+    def _op_select(self, session, sql_session, request, entry) -> dict[str, Any]:
         table = request["table"]
         predicate = _predicate_from(request.get("equals"))
         columns = request.get("columns")
@@ -364,19 +556,21 @@ class ReproServer:
         )
         return {"ok": True, "rows": [wire.encode_row(r) for r in rows]}
 
-    def _op_begin(self, session, sql_session, request) -> dict[str, Any]:
+    def _op_begin(self, session, sql_session, request, entry) -> dict[str, Any]:
         txn = session.begin()
         return {"ok": True, "txn_id": txn.txn_id}
 
-    def _op_commit(self, session, sql_session, request) -> dict[str, Any]:
+    def _op_commit(self, session, sql_session, request, entry) -> dict[str, Any]:
+        # Fill before committing: the commit flush serialises the entry.
+        response = self._fill(entry, {"ok": True})
         session.commit()
-        return {"ok": True}
+        return response
 
-    def _op_rollback(self, session, sql_session, request) -> dict[str, Any]:
+    def _op_rollback(self, session, sql_session, request, entry) -> dict[str, Any]:
         session.rollback()
         return {"ok": True}
 
-    def _op_verify(self, session, sql_session, request) -> dict[str, Any]:
+    def _op_verify(self, session, sql_session, request, entry) -> dict[str, Any]:
         def run():
             with session.use():
                 with session.db_latch():
@@ -390,11 +584,15 @@ class ReproServer:
             "report": report.render(),
         }
 
-    def _op_stats(self, session, sql_session, request) -> dict[str, Any]:
+    def _op_stats(self, session, sql_session, request, entry) -> dict[str, Any]:
         return {
             "ok": True,
             "server": self.stats.snapshot(),
             "locks": self.sessions.stats(),
+            "ledger": {
+                "entries": len(self.ledger),
+                "evictions": self.ledger.evictions,
+            },
         }
 
 

@@ -24,6 +24,7 @@ from typing import Any
 
 from ..errors import ReproError
 from ..nulls import NULL
+from ..testing.faults import fire
 
 #: Frames above this are refused outright — a corrupt length prefix
 #: must not make the receiver try to allocate gigabytes.
@@ -38,6 +39,7 @@ class WireError(ReproError):
 
 def send_frame(sock: socket.socket, message: dict[str, Any]) -> None:
     """Serialise *message* and write one frame."""
+    fire("wire.send")
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise WireError(f"frame of {len(payload)} bytes exceeds the cap")
@@ -67,6 +69,9 @@ def _recv_exact(sock: socket.socket, n: int, eof_ok: bool) -> bytes | None:
     chunks = []
     remaining = n
     while remaining:
+        # Fired per chunk, not per frame, so an injector can tear a
+        # frame mid-payload — the failure the retry protocol must survive.
+        fire("wire.recv")
         chunk = sock.recv(remaining)
         if not chunk:
             if eof_ok and remaining == n:

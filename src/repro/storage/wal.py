@@ -29,10 +29,24 @@ re-apply — atomicity comes for free.  Undo images are still logged: the
 savepoint machinery (:mod:`repro.query.transaction`) uses them to emit
 compensating records for partial rollbacks inside committed
 transactions.
+
+**Durability** is opt-in: constructed with a
+:class:`~repro.storage.segments.SegmentStore` (or via
+:meth:`WriteAheadLog.open` on a data directory), every logical flush
+also appends the flushed records to CRC-framed segment files with one
+fsync, and every checkpoint atomically replaces the on-disk snapshot and
+compacts the segments.  :func:`open_durable` is the process-restart
+entry point: it either resumes a database from the directory's
+checkpoint + committed records (surviving ``kill -9``, torn tails
+truncated by CRC) or attaches a fresh durable log.  Commit records may
+carry an opaque *note* (the server's exactly-once result ledger rides
+here) which replay surfaces without interpreting.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -40,6 +54,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..errors import WalError
 from .heap import HeapImage
+from .segments import SegmentStore, TornTail
 from .statistics import TableStatistics
 from .table import Table
 
@@ -84,6 +99,10 @@ class _TableSnapshot:
 class _Checkpoint:
     lsn: int
     tables: dict[str, _TableSnapshot]
+    #: Opaque subsystem state snapshotted with the data (e.g. the
+    #: server's exactly-once result ledger); recovery surfaces it via
+    #: :attr:`WriteAheadLog.checkpoint_extras` without interpreting it.
+    extras: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -109,7 +128,9 @@ class RecoveryReport:
 class WriteAheadLog:
     """Logical redo/undo log with group commit and checkpoints."""
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self, capacity: int = 256, store: SegmentStore | None = None
+    ) -> None:
         if capacity < 1:
             raise WalError("log buffer capacity must be >= 1")
         self._capacity = capacity
@@ -123,6 +144,59 @@ class WriteAheadLog:
         #: Number of physical flushes — group commit is measured by this
         #: staying far below the number of commits.
         self.flush_count = 0
+        #: Optional file-backed segment store: when present, every flush
+        #: appends the flushed records to disk (one fsync) and every
+        #: checkpoint persists the snapshot and compacts the segments.
+        self._store = store
+        #: Set by :meth:`open` when the on-disk log ended in a tear.
+        self.torn_tail: TornTail | None = None
+
+    # ------------------------------------------------------------------
+    # Durable construction
+
+    @classmethod
+    def open(
+        cls, data_dir: str | os.PathLike[str], capacity: int = 256
+    ) -> "WriteAheadLog":
+        """Open (or create) the durable log under *data_dir*.
+
+        Loads the checkpoint and every intact committed-or-not record
+        from the segment files; a torn tail (crash mid-append) is
+        detected by CRC, truncated away, and reported via
+        :attr:`torn_tail`.  LSN and transaction counters resume past
+        everything replayed, so new records never collide with old ones.
+        """
+        store = SegmentStore(data_dir)
+        wal = cls(capacity, store=store)
+        blob = store.load_checkpoint()
+        if blob is not None:
+            wal._checkpoint = pickle.loads(blob)
+        payloads, wal.torn_tail = store.load()
+        records = [pickle.loads(p) for p in payloads]
+        if wal._checkpoint is not None:
+            # A crash between checkpoint replace and segment deletion
+            # leaves stale pre-checkpoint segments behind; skip them.
+            records = [r for r in records if r.lsn >= wal._checkpoint.lsn]
+        wal._durable = records
+        floor = wal._checkpoint.lsn if wal._checkpoint is not None else 0
+        wal._next_lsn = max([floor] + [r.lsn + 1 for r in records])
+        wal._next_txn = max([1] + [r.txn_id + 1 for r in records])
+        return wal
+
+    @property
+    def is_durable(self) -> bool:
+        return self._store is not None
+
+    @property
+    def store(self) -> SegmentStore | None:
+        return self._store
+
+    @property
+    def checkpoint_extras(self) -> dict[str, Any]:
+        """The opaque extras captured with the last checkpoint."""
+        if self._checkpoint is None:
+            return {}
+        return self._checkpoint.extras
 
     # ------------------------------------------------------------------
     # Introspection
@@ -208,9 +282,17 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Commit / abort / flush
 
-    def commit(self, txn_id: int) -> None:
-        """Make the transaction durable (flushes unless inside a group)."""
-        self._append(txn_id, "commit")
+    def commit(self, txn_id: int, note: Any = None) -> None:
+        """Make the transaction durable (flushes unless inside a group).
+
+        *note* is an opaque payload persisted inside the commit record —
+        the server's exactly-once ledger stores the acknowledged result
+        here so a post-crash retry replays the answer instead of the
+        work.  It must be set (not merely referenced) before the flush
+        this commit triggers, because durable stores serialise then.
+        """
+        payload = () if note is None else (note,)
+        self._append(txn_id, "commit", payload=payload)
         if self._group_depth == 0:
             self.flush()
 
@@ -223,12 +305,22 @@ class WriteAheadLog:
         self._buffer = [r for r in self._buffer if r.txn_id != txn_id]
 
     def flush(self) -> None:
-        """Move the volatile buffer to the durable log (one 'fsync')."""
+        """Move the volatile buffer to the durable log (one 'fsync').
+
+        With a segment store attached the flushed records also reach
+        disk here, CRC-framed, with exactly one physical fsync — so the
+        group-commit path batches physical syncs for free.
+        """
         if self._suspended or not self._buffer:
             return
-        self._durable.extend(self._buffer)
+        flushed = list(self._buffer)
+        self._durable.extend(flushed)
         self._buffer.clear()
         self.flush_count += 1
+        if self._store is not None:
+            self._store.append(
+                [pickle.dumps(r, pickle.HIGHEST_PROTOCOL) for r in flushed]
+            )
 
     @contextmanager
     def group_commit(self) -> Iterator[None]:
@@ -250,12 +342,18 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Checkpointing
 
-    def checkpoint(self, db: "Database") -> None:
+    def checkpoint(
+        self, db: "Database", extras: dict[str, Any] | None = None
+    ) -> None:
         """Snapshot every table and truncate the durable log.
 
         Requires no open transaction (the snapshot must be a committed
         state).  After a checkpoint, recovery starts from the snapshot
-        and replays only records logged afterwards.
+        and replays only records logged afterwards.  *extras* is opaque
+        subsystem state snapshotted alongside the data (surfaced again
+        via :attr:`checkpoint_extras`).  With a segment store attached
+        this is also the compaction point: the snapshot atomically
+        replaces the on-disk checkpoint and old segments are deleted.
         """
         txn = db.active_transaction
         if txn is not None and txn.is_open:
@@ -268,8 +366,14 @@ class WriteAheadLog:
                 heap_image=table.heap.snapshot(),
                 index_defs=[index.definition for index in table.indexes],
             )
-        self._checkpoint = _Checkpoint(lsn=self._next_lsn, tables=tables)
+        self._checkpoint = _Checkpoint(
+            lsn=self._next_lsn, tables=tables, extras=dict(extras or {})
+        )
         self._durable.clear()
+        if self._store is not None:
+            self._store.write_checkpoint(
+                pickle.dumps(self._checkpoint, pickle.HIGHEST_PROTOCOL)
+            )
 
     # ------------------------------------------------------------------
     # Crash simulation
@@ -405,3 +509,30 @@ def simulate_crash(db: "Database") -> RecoveryReport:
         raise WalError("no write-ahead log attached to this database")
     wal.discard_volatile()
     return recover(db, wal)
+
+
+def open_durable(
+    db: "Database",
+    data_dir: str | os.PathLike[str],
+    capacity: int = 256,
+) -> tuple[WriteAheadLog, RecoveryReport | None]:
+    """Attach a file-backed WAL under *data_dir*, recovering if it has
+    prior state.
+
+    The process-restart entry point.  *db* must hold the same catalog
+    the previous process bootstrapped (tables, constraints, triggers) —
+    recovery restores heap contents and replays committed work on top of
+    it, exactly as :func:`recover` does after an in-process crash; DDL
+    performed after the bootstrap replays from the log.  Returns the
+    attached log and the recovery report (``None`` on a fresh
+    directory, where the initial checkpoint is taken instead).
+    """
+    if db.wal is not None:
+        raise WalError("a write-ahead log is already attached")
+    wal = WriteAheadLog.open(data_dir, capacity=capacity)
+    if wal._checkpoint is not None:
+        db._wal = wal
+        report = recover(db, wal)
+        return wal, report
+    db.attach_wal(wal)
+    return wal, None

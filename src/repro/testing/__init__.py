@@ -2,9 +2,17 @@
 
 ``repro.testing`` is shipped with the library (not hidden inside the
 test suite) so that benchmarks, examples and downstream users can drive
-the same fault-injection harness the crash-recovery tests use.
+the same fault-injection harness the crash-recovery tests use:
+
+* :mod:`repro.testing.faults` — in-process fault points threaded
+  through the engine (crash, fail, transient);
+* :mod:`repro.testing.proxy` — a TCP fault proxy that drops, tears,
+  delays and garbles wire traffic between client and server;
+* :mod:`repro.testing.chaos` — the kill -9 soak harness
+  (``python -m repro chaos``) built on both.
 """
 
 from . import faults
+from .proxy import FaultProxy
 
-__all__ = ["faults"]
+__all__ = ["FaultProxy", "faults"]

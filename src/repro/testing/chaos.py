@@ -1,0 +1,550 @@
+"""The chaos soak harness: ``kill -9`` the server until it proves itself.
+
+``python -m repro chaos --seed N`` drives a multi-client MATCH PARTIAL
+foreign-key workload against a *real* served process while a supervisor
+kills it with SIGKILL and restarts it on a seeded schedule, optionally
+through a :class:`~repro.testing.proxy.FaultProxy` that tears, drops and
+delays wire traffic on the same seed.  After the storm it restarts the
+server one final time and checks the ground truth:
+
+* **no acked commit lost** — every mutation the server acknowledged is
+  present in the recovered database;
+* **no double application** — redelivered requests (the client retries
+  under the same idempotency stamp) committed at most once: child ids
+  are unique by construction, so a duplicate id is a smoking gun;
+* **unknown outcomes are 0-or-1** — a request whose every delivery tore
+  may or may not have committed, but never twice;
+* **clean integrity after every recovery** — ``verify_integrity`` is
+  run through the wire after each restart; a single dangling reference
+  or stale index entry fails the soak.
+
+Everything is seeded: the kill schedule, each worker's operation
+stream, and the proxy's fault schedule all derive from ``--seed``, so a
+failing run replays exactly.
+
+The served schema (``serve --schema chaos``) is a parent/child pair
+under MATCH PARTIAL with ON DELETE SET NULL over a Bounded structure —
+the paper's enforcement hot path, so every recovered commit re-checks
+the partial-RI machinery end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..server import (
+    DeliveryUnknown,
+    ReproClient,
+    ServerError,
+    TransactionTorn,
+    WireError,
+)
+from .proxy import ChaosPolicy, FaultProxy
+
+#: Parent grid: k1 in [0, N), k2 = k1 * 10 — known to every worker.
+N_PARENTS = 16
+
+#: Each worker owns a disjoint id block; ids are globally unique, so a
+#: duplicate in the recovered heap can only mean double application.
+_ID_BLOCK = 1_000_000
+
+
+def build_chaos_database():
+    """The deterministic schema+seed data the chaos server bootstraps.
+
+    Must be identical on every restart: recovery restores heap contents
+    from the durable log on top of this catalog (constraints, triggers
+    and indexes are rebuilt here, not logged).
+    """
+    from ..constraints import ForeignKey, MatchSemantics, PrimaryKey, ReferentialAction
+    from ..core.enforcement import EnforcedForeignKey
+    from ..core.strategies import IndexStructure
+    from ..storage.database import Database
+    from ..storage.schema import Column, DataType
+
+    db = Database("chaos")
+    db.create_table("P", [
+        Column("k1", DataType.INTEGER, nullable=False),
+        Column("k2", DataType.INTEGER, nullable=False),
+    ])
+    db.add_candidate_key(PrimaryKey("P", ("k1", "k2")))
+    db.create_table("C", [
+        Column("id", DataType.INTEGER, nullable=False),
+        Column("k1", DataType.INTEGER),
+        Column("k2", DataType.INTEGER),
+    ])
+    for i in range(N_PARENTS):
+        db.insert("P", (i, i * 10))
+    fk = ForeignKey(
+        "fk_c_p", "C", ("k1", "k2"), "P", ("k1", "k2"),
+        match=MatchSemantics.PARTIAL,
+        on_delete=ReferentialAction.SET_NULL,
+    )
+    EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+    return db
+
+
+# ----------------------------------------------------------------------
+# Report
+
+
+@dataclass
+class ChaosReport:
+    """What the soak observed; ``ok`` is the pass/fail verdict."""
+
+    seed: int
+    cycles: int = 0
+    kills: int = 0
+    recoveries_verified: int = 0
+    recoveries_dirty: int = 0
+    ops_acked: int = 0
+    ops_rejected: int = 0
+    ops_unknown: int = 0
+    txns_torn: int = 0
+    client_reconnects: int = 0
+    lost: list[int] = field(default_factory=list)
+    resurrected: list[int] = field(default_factory=list)
+    duplicated: list[int] = field(default_factory=list)
+    proxy_faults: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.lost
+            and not self.resurrected
+            and not self.duplicated
+            and self.recoveries_dirty == 0
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"chaos soak (seed {self.seed}): "
+            + ("PASS" if self.ok else "FAIL"),
+            f"  kill -9 cycles: {self.kills}  "
+            f"(recoveries verified clean: {self.recoveries_verified}, "
+            f"dirty: {self.recoveries_dirty})",
+            f"  ops acked: {self.ops_acked}  rejected: {self.ops_rejected}  "
+            f"unknown outcome: {self.ops_unknown}  "
+            f"transactions torn: {self.txns_torn}",
+            f"  client reconnects: {self.client_reconnects}",
+        ]
+        if self.proxy_faults:
+            injected = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.proxy_faults.items())
+            )
+            lines.append(f"  wire faults injected: {injected}")
+        if self.lost:
+            lines.append(f"  LOST acked commits: {sorted(self.lost)[:20]}")
+        if self.resurrected:
+            lines.append(
+                f"  RESURRECTED deleted rows: {sorted(self.resurrected)[:20]}"
+            )
+        if self.duplicated:
+            lines.append(
+                f"  DOUBLE-APPLIED ids: {sorted(self.duplicated)[:20]}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The supervised server process
+
+
+class ServerSupervisor:
+    """Runs ``python -m repro serve`` as a child and kill -9s it on cue."""
+
+    def __init__(self, data_dir: Path, port: int, checkpoint_every: int) -> None:
+        self.data_dir = data_dir
+        self.port = port
+        self.checkpoint_every = checkpoint_every
+        self.proc: subprocess.Popen | None = None
+        self._log = open(data_dir / "server.log", "ab")
+
+    def start(self, timeout: float = 20.0) -> None:
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", str(self.port),
+                "--schema", "chaos",
+                "--data-dir", str(self.data_dir),
+                "--checkpoint-every", str(self.checkpoint_every),
+            ],
+            stdout=self._log,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        self._await_listening(timeout)
+
+    def _await_listening(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            assert self.proc is not None
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"chaos server exited with {self.proc.returncode} before "
+                    f"listening; see {self.data_dir / 'server.log'}"
+                )
+            try:
+                socket.create_connection(("127.0.0.1", self.port), 0.2).close()
+                return
+            except OSError:
+                time.sleep(0.05)
+        raise RuntimeError(f"chaos server not listening within {timeout}s")
+
+    def kill9(self) -> None:
+        """SIGKILL — no atexit, no flush, no goodbye."""
+        if self.proc is not None:
+            self.proc.kill()
+            self.proc.wait(timeout=10.0)
+            self.proc = None
+
+    def stop(self) -> None:
+        self.kill9()
+        self._log.close()
+
+
+def _free_port() -> int:
+    """Reserve an ephemeral port number to reuse across restarts."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+# ----------------------------------------------------------------------
+# Workers
+
+
+class _Worker:
+    """One seeded client: runs FK ops and records what the server acked."""
+
+    def __init__(
+        self, worker_id: int, seed: int, address: tuple[str, int],
+        stop: threading.Event,
+    ) -> None:
+        self.worker_id = worker_id
+        self.rng = random.Random((seed << 8) | worker_id)
+        self.address = address
+        self.stop = stop
+        #: id -> True (acked present) / False (acked absent).
+        self.expected: dict[int, bool] = {}
+        #: ids whose final delivery outcome is unknown (0-or-1 allowed).
+        self.unknown: set[int] = set()
+        self.acked = 0
+        self.rejected = 0
+        self.unknown_ops = 0
+        self.torn = 0
+        self.reconnects = 0
+        self._next = worker_id * _ID_BLOCK
+        self.thread = threading.Thread(
+            target=self.run, name=f"chaos-worker-{worker_id}", daemon=True
+        )
+
+    def _fresh_id(self) -> int:
+        self._next += 1
+        return self._next
+
+    def _values(self, child_id: int) -> list:
+        """A child row; NULL FK components exercise MATCH PARTIAL."""
+        k1: int | None = self.rng.randrange(N_PARENTS)
+        k2: int | None = k1 * 10
+        roll = self.rng.random()
+        if roll < 0.2:
+            k1 = None
+        elif roll < 0.4:
+            k2 = None
+        elif roll < 0.45:
+            k1, k2 = None, None
+        return [child_id, k1, k2]
+
+    def run(self) -> None:
+        client = ReproClient(
+            *self.address,
+            client_id=f"chaos-{self.worker_id}",
+            redeliveries=10,
+            reconnect_attempts=40,
+            reconnect_delay=0.05,
+        )
+        try:
+            while not self.stop.is_set():
+                roll = self.rng.random()
+                try:
+                    if roll < 0.50:
+                        self._autocommit_insert(client)
+                    elif roll < 0.65:
+                        self._explicit_txn(client)
+                    elif roll < 0.80:
+                        self._delete_own(client)
+                    elif roll < 0.92:
+                        client.retrying(lambda: client.select(
+                            "C", equals={"id": self.rng.randrange(self._next + 1)},
+                        ))
+                    else:
+                        self._delete_parent(client)
+                except DeliveryUnknown:
+                    self.unknown_ops += 1
+                except TransactionTorn:
+                    self.torn += 1
+                except ServerError:
+                    self.rejected += 1
+                except (WireError, OSError):
+                    self.unknown_ops += 1  # reads/reconnects may still fail
+        finally:
+            self.reconnects = client.reconnects
+            client.close()
+
+    # -- individual ops -------------------------------------------------
+
+    def _autocommit_insert(self, client: ReproClient) -> None:
+        child_id = self._fresh_id()
+        try:
+            client.retrying(
+                lambda: client.insert("C", self._values(child_id))
+            )
+        except DeliveryUnknown:
+            self.unknown.add(child_id)
+            raise
+        except ServerError:
+            self.expected[child_id] = False  # veto proves no commit
+            raise
+        self.expected[child_id] = True
+        self.acked += 1
+
+    def _explicit_txn(self, client: ReproClient) -> None:
+        ids = [self._fresh_id() for __ in range(self.rng.randrange(2, 4))]
+        try:
+            client.begin()
+            for child_id in ids:
+                client.insert("C", self._values(child_id))
+            client.commit()
+        except DeliveryUnknown:
+            # Only the commit redelivers; its outcome is the txn's.
+            self.unknown.update(ids)
+            raise
+        except TransactionTorn:
+            for child_id in ids:
+                self.expected[child_id] = False
+            raise
+        except ServerError:
+            # Veto or replayed-commit-not-found: the txn rolled back.
+            for child_id in ids:
+                self.expected[child_id] = False
+            try:
+                client.rollback()
+            except (ServerError, DeliveryUnknown, WireError, OSError):
+                pass  # rollback-at-disconnect already covered it
+            raise
+        for child_id in ids:
+            self.expected[child_id] = True
+        self.acked += len(ids)
+
+    def _delete_own(self, client: ReproClient) -> None:
+        present = [i for i, alive in self.expected.items() if alive]
+        if not present:
+            return
+        child_id = self.rng.choice(present)
+        try:
+            client.retrying(
+                lambda: client.delete("C", equals={"id": child_id})
+            )
+        except DeliveryUnknown:
+            self.unknown.add(child_id)
+            self.expected.pop(child_id, None)
+            raise
+        self.expected[child_id] = False
+        self.acked += 1
+
+    def _delete_parent(self, client: ReproClient) -> None:
+        """ON DELETE SET NULL cascade under fire; parent rows come back
+        via a fresh insert so the grid never runs dry."""
+        k1 = self.rng.randrange(N_PARENTS)
+        client.retrying(
+            lambda: client.delete("P", equals={"k1": k1, "k2": k1 * 10})
+        )
+        self.acked += 1
+        try:
+            client.retrying(lambda: client.insert("P", [k1, k1 * 10]))
+            self.acked += 1
+        except ServerError:
+            self.rejected += 1  # another worker re-inserted it first
+
+
+# ----------------------------------------------------------------------
+# The soak
+
+
+def run_chaos(
+    seed: int,
+    cycles: int = 25,
+    clients: int = 4,
+    data_dir: str | os.PathLike[str] | None = None,
+    min_uptime_s: float = 0.4,
+    max_uptime_s: float = 1.0,
+    checkpoint_every: int = 64,
+    wire_faults: bool = True,
+    quick: bool = False,
+) -> ChaosReport:
+    """Run the soak; returns the report (``report.ok`` is the verdict)."""
+    import shutil
+    import tempfile
+
+    if quick:
+        cycles = min(cycles, 5)
+        clients = min(clients, 3)
+        min_uptime_s, max_uptime_s = 0.3, 0.6
+
+    rng = random.Random(seed)
+    report = ChaosReport(seed=seed, cycles=cycles)
+    owned_dir = data_dir is None
+    root = Path(tempfile.mkdtemp(prefix="repro-chaos-")) if owned_dir else Path(data_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    port = _free_port()
+    supervisor = ServerSupervisor(root, port, checkpoint_every)
+    proxy: FaultProxy | None = None
+    stop = threading.Event()
+    workers: list[_Worker] = []
+    try:
+        supervisor.start()
+        client_address = ("127.0.0.1", port)
+        if wire_faults:
+            proxy = FaultProxy(
+                ("127.0.0.1", port),
+                ChaosPolicy(
+                    seed,
+                    drop_rate=0.004,
+                    truncate_rate=0.004,
+                    delay_rate=0.02,
+                    garble_rate=0.002,
+                    max_delay_s=0.01,
+                ),
+            ).start()
+            client_address = proxy.address
+
+        workers = [
+            _Worker(w + 1, seed, client_address, stop) for w in range(clients)
+        ]
+        for worker in workers:
+            worker.thread.start()
+
+        for cycle in range(cycles):
+            time.sleep(rng.uniform(min_uptime_s, max_uptime_s))
+            supervisor.kill9()
+            report.kills += 1
+            if proxy is not None:
+                proxy.kill_connections()
+            supervisor.start()
+            _verify_clean(port, report)
+
+        stop.set()
+        for worker in workers:
+            worker.thread.join(30.0)
+
+        # Final restart: the recovered state, not the warm one, is judged.
+        supervisor.kill9()
+        report.kills += 1
+        supervisor.start()
+        _verify_clean(port, report)
+        _judge(port, workers, report)
+    finally:
+        stop.set()
+        for worker in workers:
+            if worker.thread.is_alive():
+                worker.thread.join(5.0)
+        if proxy is not None:
+            report.proxy_faults = dict(proxy.faults)
+            proxy.stop()
+        supervisor.stop()
+        if owned_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+    for worker in workers:
+        report.ops_acked += worker.acked
+        report.ops_rejected += worker.rejected
+        report.ops_unknown += worker.unknown_ops
+        report.txns_torn += worker.torn
+        report.client_reconnects += worker.reconnects
+    return report
+
+
+def _verify_clean(port: int, report: ChaosReport) -> None:
+    """Run verify_integrity through the wire right after a recovery."""
+    with ReproClient("127.0.0.1", port, reconnect_attempts=40) as client:
+        verdict = client.verify()
+    if verdict.get("clean"):
+        report.recoveries_verified += 1
+    else:
+        report.recoveries_dirty += 1
+
+
+def _judge(port: int, workers: list[_Worker], report: ChaosReport) -> None:
+    """Compare the recovered heap against every worker's acked history."""
+    with ReproClient("127.0.0.1", port, reconnect_attempts=40) as client:
+        rows = client.select("C", columns=["id"])
+    counts = Counter(row[0] for row in rows)
+    for child_id, count in counts.items():
+        if count > 1:
+            report.duplicated.append(child_id)
+    for worker in workers:
+        for child_id, alive in worker.expected.items():
+            if child_id in worker.unknown:
+                continue
+            present = counts.get(child_id, 0)
+            if alive and present == 0:
+                report.lost.append(child_id)
+            elif not alive and present > 0:
+                report.resurrected.append(child_id)
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro chaos --seed N [--quick] [--cycles N] ...``"""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    seed, cycles, clients, quick = 0, 25, 4, False
+    data_dir: str | None = None
+    wire_faults = True
+    it = iter(argv)
+    for arg in it:
+        if arg == "--seed":
+            seed = int(next(it, "0"))
+        elif arg == "--cycles":
+            cycles = int(next(it, "25"))
+        elif arg == "--clients":
+            clients = int(next(it, "4"))
+        elif arg == "--data-dir":
+            data_dir = next(it, None)
+        elif arg == "--no-proxy":
+            wire_faults = False
+        elif arg == "--quick":
+            quick = True
+        else:
+            print(f"unknown chaos option {arg!r}", file=sys.stderr)
+            return 1
+    report = run_chaos(
+        seed,
+        cycles=cycles,
+        clients=clients,
+        data_dir=data_dir,
+        wire_faults=wire_faults,
+        quick=quick,
+    )
+    print(report.render())
+    return 0 if report.ok else 1

@@ -1,0 +1,398 @@
+"""A TCP fault proxy: the wire's misbehaviour, made reproducible.
+
+The in-process fault points (:mod:`repro.testing.faults`) can make the
+*engine* fail at any step; this proxy makes the *network* fail.  It sits
+between a :class:`~repro.server.client.ReproClient` and a
+:class:`~repro.server.server.ReproServer` and, per forwarded chunk,
+consults a :class:`FaultPolicy` that can
+
+* **drop** the connection (both directions die, like a yanked cable),
+* **truncate** a chunk mid-frame and then drop (the classic torn reply
+  the exactly-once protocol exists for),
+* **delay** a chunk (a congested or half-stalled link),
+* **garble** a chunk (bit flips the CRC-less JSON framing must reject).
+
+Policies count matching chunks like fault injectors count arrivals
+(``skip``/``times``), so a test can tear exactly the second reply and
+then let every redelivery through::
+
+    with FaultProxy(server.address, TruncateChunk("s2c", keep=5, skip=1)) as proxy:
+        client = ReproClient(*proxy.address)
+        ...
+
+:class:`ChaosPolicy` drives the same actions from a seeded RNG for the
+soak harness — same seed, same faults, same schedule.
+
+Everything here lives under ``repro.testing`` on purpose: it may use
+``random`` and wall-clock sleeps (lint rule RPR003 exempts this tree),
+and the engine never imports it.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "ChaosPolicy",
+    "Delay",
+    "DropConnection",
+    "FaultPolicy",
+    "FaultProxy",
+    "Garble",
+    "PassThrough",
+    "TruncateChunk",
+    "Verdict",
+]
+
+#: Directions a policy can match: client->server and server->client.
+DIRECTIONS = ("c2s", "s2c")
+
+_CHUNK = 65536
+_POLL_S = 0.2
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """What to do with one forwarded chunk."""
+
+    action: str = "pass"  # pass | drop | truncate | delay | garble
+    keep: int = 0         # truncate: bytes to forward before dropping
+    delay_s: float = 0.0  # delay: sleep before forwarding
+
+    @classmethod
+    def passthrough(cls) -> "Verdict":
+        return cls()
+
+
+class FaultPolicy:
+    """Decides per chunk; counts matching arrivals like an injector.
+
+    Subclasses implement :meth:`fault` — the verdict for an arrival the
+    ``skip``/``times`` window selects; everything else passes.
+    """
+
+    def __init__(
+        self, direction: str = "s2c", skip: int = 0, times: int | None = 1
+    ) -> None:
+        if direction not in DIRECTIONS and direction != "any":
+            raise ValueError(f"unknown direction {direction!r}")
+        self.direction = direction
+        self.skip = skip
+        self.times = times
+        self.hits = 0
+        self.fired = 0
+        self._mu = threading.Lock()
+
+    def decide(self, direction: str, data: bytes) -> Verdict:
+        if self.direction != "any" and direction != self.direction:
+            return Verdict.passthrough()
+        with self._mu:
+            index = self.hits
+            self.hits += 1
+            selected = index >= self.skip and (
+                self.times is None or index < self.skip + self.times
+            )
+            if selected:
+                self.fired += 1
+        if not selected:
+            return Verdict.passthrough()
+        return self.fault(data)
+
+    def fault(self, data: bytes) -> Verdict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class PassThrough(FaultPolicy):
+    """Forward everything (the proxy as a plain relay)."""
+
+    def __init__(self) -> None:
+        super().__init__("any", times=0)
+
+    def fault(self, data: bytes) -> Verdict:  # pragma: no cover - unselected
+        return Verdict.passthrough()
+
+
+class DropConnection(FaultPolicy):
+    """Kill the connection when the selected chunk arrives."""
+
+    def fault(self, data: bytes) -> Verdict:
+        return Verdict("drop")
+
+
+class TruncateChunk(FaultPolicy):
+    """Forward only ``keep`` bytes of the selected chunk, then drop —
+    tears a frame mid-payload when ``keep`` lands inside one."""
+
+    def __init__(
+        self,
+        direction: str = "s2c",
+        keep: int = 5,
+        skip: int = 0,
+        times: int | None = 1,
+    ) -> None:
+        super().__init__(direction, skip, times)
+        self.keep = keep
+
+    def fault(self, data: bytes) -> Verdict:
+        return Verdict("truncate", keep=min(self.keep, len(data)))
+
+
+class Delay(FaultPolicy):
+    """Stall the selected chunk for ``delay_s`` before forwarding."""
+
+    def __init__(
+        self,
+        direction: str = "any",
+        delay_s: float = 0.05,
+        skip: int = 0,
+        times: int | None = 1,
+    ) -> None:
+        super().__init__(direction, skip, times)
+        self.delay_s = delay_s
+
+    def fault(self, data: bytes) -> Verdict:
+        return Verdict("delay", delay_s=self.delay_s)
+
+
+class Garble(FaultPolicy):
+    """Flip bits in the selected chunk (the receiver must reject it)."""
+
+    def fault(self, data: bytes) -> Verdict:
+        return Verdict("garble")
+
+
+class ChaosPolicy(FaultPolicy):
+    """Seeded random mix of every fault, for the soak harness.
+
+    Rates are per forwarded chunk; the same seed reproduces the same
+    fault schedule against the same traffic.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        drop_rate: float = 0.01,
+        truncate_rate: float = 0.01,
+        delay_rate: float = 0.02,
+        garble_rate: float = 0.0,
+        max_delay_s: float = 0.02,
+    ) -> None:
+        super().__init__("any", times=None)
+        self._rng = random.Random(seed)
+        self.drop_rate = drop_rate
+        self.truncate_rate = truncate_rate
+        self.delay_rate = delay_rate
+        self.garble_rate = garble_rate
+        self.max_delay_s = max_delay_s
+
+    def fault(self, data: bytes) -> Verdict:
+        with self._mu:
+            roll = self._rng.random()
+            delay = self._rng.uniform(0.0, self.max_delay_s)
+            keep = self._rng.randrange(max(1, len(data)))
+        if roll < self.drop_rate:
+            return Verdict("drop")
+        roll -= self.drop_rate
+        if roll < self.truncate_rate:
+            return Verdict("truncate", keep=keep)
+        roll -= self.truncate_rate
+        if roll < self.garble_rate:
+            return Verdict("garble")
+        roll -= self.garble_rate
+        if roll < self.delay_rate:
+            return Verdict("delay", delay_s=delay)
+        return Verdict.passthrough()
+
+
+# ----------------------------------------------------------------------
+
+
+class _Relay:
+    """One proxied connection: two pump threads and a shared kill switch."""
+
+    def __init__(
+        self,
+        proxy: "FaultProxy",
+        client_sock: socket.socket,
+        server_sock: socket.socket,
+    ) -> None:
+        self.proxy = proxy
+        self.client_sock = client_sock
+        self.server_sock = server_sock
+        self._dead = threading.Event()
+        self.threads = [
+            threading.Thread(
+                target=self._pump,
+                args=(client_sock, server_sock, "c2s"),
+                daemon=True,
+            ),
+            threading.Thread(
+                target=self._pump,
+                args=(server_sock, client_sock, "s2c"),
+                daemon=True,
+            ),
+        ]
+        for thread in self.threads:
+            thread.start()
+
+    def kill(self) -> None:
+        self._dead.set()
+        for sock in (self.client_sock, self.server_sock):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _pump(self, src: socket.socket, dst: socket.socket, direction: str) -> None:
+        src.settimeout(_POLL_S)
+        try:
+            while not self._dead.is_set() and not self.proxy._stopping.is_set():
+                try:
+                    data = src.recv(_CHUNK)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                verdict = self.proxy.policy.decide(direction, data)
+                if verdict.action != "pass":
+                    self.proxy._count_fault(verdict.action)
+                if verdict.action == "drop":
+                    break
+                if verdict.action == "truncate":
+                    self._send(dst, data[: verdict.keep])
+                    break
+                if verdict.action == "delay":
+                    time.sleep(verdict.delay_s)
+                elif verdict.action == "garble":
+                    data = bytes(b ^ 0xA5 for b in data)
+                if not self._send(dst, data):
+                    break
+                self.proxy._count_forward(len(data))
+        finally:
+            self.kill()
+
+    @staticmethod
+    def _send(dst: socket.socket, data: bytes) -> bool:
+        try:
+            dst.sendall(data)
+            return True
+        except OSError:
+            return False
+
+
+class FaultProxy:
+    """A faulty TCP relay in front of a wire server.
+
+    Usable as a context manager; ``policy`` may be swapped at runtime
+    between requests (tests often pass cleanly, then arm one tear).
+    """
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        policy: FaultPolicy | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream = upstream
+        self.policy = policy if policy is not None else PassThrough()
+        self.host = host
+        self._requested_port = port
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._mu = threading.Lock()
+        self._relays: list[_Relay] = []
+        self.connections = 0
+        self.bytes_forwarded = 0
+        self.faults: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._listener is None:
+            raise RuntimeError("proxy is not started")
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "FaultProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(32)
+        listener.settimeout(_POLL_S)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fault-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(5.0)
+        with self._mu:
+            relays = list(self._relays)
+        for relay in relays:
+            relay.kill()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def kill_connections(self) -> int:
+        """Drop every live proxied connection right now."""
+        with self._mu:
+            relays = list(self._relays)
+            self._relays.clear()
+        for relay in relays:
+            relay.kill()
+        return len(relays)
+
+    def __enter__(self) -> "FaultProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                client_sock, __ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                server_sock = socket.create_connection(self.upstream, timeout=5.0)
+            except OSError:
+                client_sock.close()
+                continue
+            with self._mu:
+                self.connections += 1
+                self._relays.append(_Relay(self, client_sock, server_sock))
+                # Dead relays accumulate only per live proxy; prune here.
+                self._relays = [
+                    r for r in self._relays if not r._dead.is_set()
+                ]
+
+    def _count_fault(self, action: str) -> None:
+        with self._mu:
+            self.faults[action] = self.faults.get(action, 0) + 1
+
+    def _count_forward(self, n: int) -> None:
+        with self._mu:
+            self.bytes_forwarded += n

@@ -1,0 +1,27 @@
+"""Seeded RPR007 violations: raw wire I/O with no guard.
+
+``unguarded_exchange`` touches the socket with neither a fault-point
+crossing nor an explicit timeout — both calls must be flagged when this
+snippet is linted as a ``repro.server`` module.  The two functions
+below it show the sanctioned shapes and must stay clean.
+"""
+
+import socket
+
+from repro.testing.faults import fire
+
+
+def unguarded_exchange(sock: socket.socket) -> bytes:
+    sock.sendall(b"hello")
+    return sock.recv(4096)
+
+
+def guarded_by_fault_point(sock: socket.socket) -> bytes:
+    fire("wire.send")
+    sock.sendall(b"hello")
+    return sock.recv(4096)
+
+
+def guarded_by_timeout(sock: socket.socket) -> bytes:
+    sock.settimeout(5.0)
+    return sock.recv(4096)

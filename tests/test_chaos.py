@@ -1,0 +1,54 @@
+"""In-suite chaos soak: a tiny seeded kill -9 run, end to end.
+
+The full harness (``python -m repro chaos``) runs 25+ cycles in CI's
+chaos-smoke job; this keeps a miniature version inside the tier-1 suite
+so a regression in the recovery or exactly-once path fails fast, on a
+fixed seed, in a few seconds.
+"""
+
+from __future__ import annotations
+
+from repro.testing.chaos import ChaosReport, build_chaos_database, run_chaos
+
+
+def test_chaos_schema_is_partial_match_under_bounded():
+    db = build_chaos_database()
+    table = db.table("C")
+    assert table.schema.column_names == ("id", "k1", "k2")
+    assert db.verify_integrity().ok
+    # Parents seeded, children start empty.
+    assert len(db.table("P").rows()) > 0
+    assert db.table("C").rows() == []
+
+
+def test_mini_soak_loses_no_acked_commit(tmp_path):
+    report = run_chaos(
+        seed=11,
+        cycles=2,
+        clients=2,
+        data_dir=tmp_path / "chaos",
+        min_uptime_s=0.3,
+        max_uptime_s=0.5,
+        checkpoint_every=32,
+        wire_faults=True,
+    )
+    assert report.kills == 3  # two in-loop kills + the final one
+    assert report.recoveries_verified == report.kills
+    assert report.recoveries_dirty == 0
+    assert report.ops_acked > 0
+    assert report.lost == []
+    assert report.resurrected == []
+    assert report.duplicated == []
+    assert report.ok, report.render()
+
+
+def test_report_render_and_ok():
+    report = ChaosReport(seed=3, cycles=1, kills=1, recoveries_verified=1,
+                         ops_acked=10)
+    assert report.ok
+    assert "seed 3" in report.render() and "PASS" in report.render()
+    report.lost.append(42)
+    assert not report.ok
+    report.lost.clear()
+    report.recoveries_dirty = 1
+    assert not report.ok

@@ -100,6 +100,24 @@ def test_rpr006_set_solo_outside_concurrency():
     ) == []
 
 
+def test_rpr007_unguarded_socket_io():
+    violations = _lint_fixture(
+        "rpr007_unguarded_socket.py", module="repro.server.fixture"
+    )
+    assert [v.code for v in violations] == ["RPR007"] * 2
+    assert ".sendall()" in violations[0].message
+    assert ".recv()" in violations[1].message
+    # Both flagged lines sit in unguarded_exchange; the fault-point and
+    # settimeout shapes below it stay clean.
+    assert all(v.line < 19 for v in violations)
+
+
+def test_rpr007_only_applies_to_server_modules():
+    source = (FIXTURES / "rpr007_unguarded_socket.py").read_text()
+    assert lint.lint_source(source, "repro.testing.proxy") == []
+    assert lint.lint_source(source, "repro.query.dml") == []
+
+
 # ----------------------------------------------------------------------
 # Repo-level properties.
 
@@ -111,8 +129,11 @@ def test_engine_tree_is_lint_clean():
 def test_fixture_directory_trips_every_rule():
     codes = set()
     for path in sorted(FIXTURES.glob("*.py")):
+        # The socket-guard rule is scoped to the serving layer, so its
+        # fixture lints under a repro.server module name.
+        package = "server" if path.stem.startswith("rpr007") else "query"
         for violation in lint.lint_source(
-            path.read_text(), f"repro.query.{path.stem}", str(path)
+            path.read_text(), f"repro.{package}.{path.stem}", str(path)
         ):
             codes.add(violation.code)
     assert codes == {rule.code for rule in lint.RULES}

@@ -380,3 +380,126 @@ def test_induced_lock_cycle_aborts_one_client_not_the_server():
             c1.close()
             c2.close()
     server.db.session_manager.locks.assert_idle()
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerance satellites: slow readers and retry_after hints
+
+
+def test_slow_reader_is_disconnected_not_pinned():
+    """A client that stops reading must cost one bounded send timeout,
+    not a worker thread parked in sendall forever."""
+    from repro.sql import SqlSession
+
+    db = Database("served")
+    SqlSession(db).execute(
+        "CREATE TABLE blob (a INTEGER NOT NULL, pad TEXT);"
+    )
+    pad = "x" * 1024
+    for i in range(8000):
+        db.insert("blob", (i, pad))
+
+    with ReproServer(db, send_timeout=0.3) as server:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            # A tiny receive window forces the ~8 MB reply to block in
+            # the server's sendall until its timeout trips.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            sock.connect(server.address)
+            wire.send_frame(sock, {"op": "select", "table": "blob"})
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if server.stats.snapshot()["send_timeouts"]:
+                    break
+                time.sleep(0.05)
+            assert server.stats.snapshot()["send_timeouts"] == 1
+        finally:
+            sock.close()
+    # The stalled connection was dropped; the server stayed serviceable.
+
+
+def test_overload_rejection_carries_queue_scaled_retry_after():
+    with tourism_server(
+        max_inflight=1, admission_timeout=0.05, lock_timeout=5.0
+    ) as server:
+        holder = ReproClient(*server.address)
+        bounced = ReproClient(*server.address)
+        try:
+            holder.begin()
+            holder.insert("tour", ["NEW", "K9", "held"])
+
+            blockers = [ReproClient(*server.address) for __ in range(3)]
+
+            def blocked_insert(c: ReproClient) -> None:
+                try:
+                    # Same primary key: waits on the X lock, pinning the
+                    # single admission slot (or bounces — also fine).
+                    c.insert("tour", ["NEW", "K9", "dup"])
+                except ServerError:
+                    pass
+
+            threads = [
+                threading.Thread(
+                    target=blocked_insert, args=(c,), daemon=True
+                )
+                for c in blockers
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.4)  # let them stack up on the one slot
+
+            with pytest.raises(ServerError) as info:
+                bounced.select("tour")
+            assert info.value.error_type == "Overloaded"
+            # The hint exists, is positive, and scales with queue depth
+            # (floor: one waiter ahead -> at least two ticks).
+            assert info.value.retry_after is not None
+            assert info.value.retry_after >= 0.05
+            assert info.value.retry_after <= 2.0
+
+            holder.rollback()
+            for thread in threads:
+                thread.join(10.0)
+            for c in blockers:
+                c.close()
+        finally:
+            holder.close()
+            bounced.close()
+
+
+def test_retrying_honours_the_servers_retry_after_hint():
+    with tourism_server() as server:
+        with ReproClient(*server.address) as client:
+            sleeps: list[float] = []
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] < 3:
+                    raise ServerError(
+                        "backpressure", "Overloaded", True, retry_after=0.123
+                    )
+                return "landed"
+
+            result = client.retrying(
+                flaky, attempts=5, base_delay=9.0, sleep=sleeps.append
+            )
+            assert result == "landed"
+            # The hint overrode the (deliberately huge) local schedule.
+            assert sleeps == [0.123, 0.123]
+
+
+def test_retrying_never_retries_delivery_unknown():
+    from repro.server import DeliveryUnknown
+
+    with tourism_server() as server:
+        with ReproClient(*server.address) as client:
+            calls = {"n": 0}
+
+            def undecided():
+                calls["n"] += 1
+                raise DeliveryUnknown("outcome unknown")
+
+            with pytest.raises(DeliveryUnknown):
+                client.retrying(undecided, attempts=5)
+            assert calls["n"] == 1
