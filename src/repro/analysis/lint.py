@@ -44,6 +44,13 @@ The rules:
     also crosses a fault point (``fire(...)``) or sets an explicit
     ``settimeout``: unguarded wire I/O is invisible to the fault
     injection harness and can stall a worker thread forever.
+``RPR008`` lock-free snapshot reads — snapshot-read code paths (any
+    function whose name contains ``snapshot``, and everything in
+    ``repro.storage.versions``) must not acquire S or IS locks through
+    the lock manager: MVCC readers promise to never wait on writers,
+    and a single read lock reintroduces the reader-writer convoy the
+    version store exists to remove.  The runtime twin of this rule is
+    :func:`repro.analysis.lockdep.snapshot_read_scope`.
 """
 
 from __future__ import annotations
@@ -389,6 +396,54 @@ def _check_socket_guards(
 
 
 # ----------------------------------------------------------------------
+# RPR008 — snapshot-read paths stay lock-free
+
+#: Modules that are snapshot-read machinery in their entirety.
+_SNAPSHOT_MODULES = ("repro.storage.versions",)
+
+#: Read lock modes a snapshot path must never request.
+_READ_MODES = {"S", "IS"}
+
+
+def _is_read_lock_mode(arg: ast.expr) -> bool:
+    return (
+        isinstance(arg, ast.Attribute)
+        and arg.attr in _READ_MODES
+        and isinstance(arg.value, ast.Name)
+        and arg.value.id == "LockMode"
+    )
+
+
+def _check_snapshot_lock_free(
+    module: ModuleName, tree: ast.Module
+) -> Iterator[tuple[int, str]]:
+    whole_module = _in(module, _SNAPSHOT_MODULES)
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not (whole_module or "snapshot" in func.name):
+            continue
+        for node in _own_nodes(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+                and any(_is_read_lock_mode(a) for a in node.args)
+            ):
+                mode = next(
+                    a.attr for a in node.args  # type: ignore[union-attr]
+                    if _is_read_lock_mode(a)
+                )
+                yield (
+                    node.lineno,
+                    f"snapshot-read path {func.name!r} acquires a "
+                    f"LockMode.{mode} lock; MVCC snapshot reads must be "
+                    "lock-free — read through a ReadView at the snapshot "
+                    "LSN instead (runtime twin: lockdep.snapshot_read_scope)",
+                )
+
+
+# ----------------------------------------------------------------------
 # The rule table and the driver
 
 RULES: tuple[Rule, ...] = (
@@ -406,6 +461,8 @@ RULES: tuple[Rule, ...] = (
          _check_set_solo),
     Rule("RPR007", "server socket I/O guarded by fault point or timeout",
          _check_socket_guards),
+    Rule("RPR008", "snapshot-read paths never take S/IS locks",
+         _check_snapshot_lock_free),
 )
 
 

@@ -46,7 +46,7 @@ ubiquitous benign cycles through IX table locks (IX is self-compatible,
 so ``parent-delete: table P → table C`` versus ``child-insert: table C →
 key P`` cannot deadlock at the table nodes).
 
-Besides ordering, the observer asserts three pieces of discipline the
+Besides ordering, the observer asserts four pieces of discipline the
 code comments otherwise only promise:
 
 * **strict 2PL** — no acquisition after the transaction's release
@@ -59,7 +59,13 @@ code comments otherwise only promise:
 * **witness pinning** — :func:`repro.concurrency.hooks.verify_parent_exists`
   reports the witness key it adopted, and the observer checks the
   S-lock on exactly that resource is held by the transaction at the end
-  of the probe window (and, by strict 2PL, until commit).
+  of the probe window (and, by strict 2PL, until commit);
+* **snapshot reads are lock-free** — MVCC snapshot transactions
+  legitimately hold *no* read locks at all: the snapshot read path
+  (:meth:`repro.concurrency.session.Session._snapshot_read`) wraps
+  itself in :func:`snapshot_read_scope`, and any lock-manager
+  acquisition observed inside that scope is a ``snapshot`` violation.
+  This is the runtime twin of lint rule RPR008.
 
 Enabling: ``LockManager(sanitize=True)`` or ``REPRO_SANITIZE=1`` in the
 environment.  When off (the default), the manager's hot path pays a
@@ -95,6 +101,34 @@ def env_enabled() -> bool:
     return os.environ.get(ENV_FLAG, "") not in ("", "0", "false", "no")
 
 
+# Thread-local marker for the MVCC snapshot-read scope: while set, the
+# current thread is executing a lock-free snapshot read and must not
+# reach the lock manager at all.
+_snapshot_local = threading.local()
+
+
+@contextmanager
+def snapshot_read_scope() -> Iterator[None]:
+    """Mark the current thread as inside a lock-free snapshot read.
+
+    The session's snapshot read path enters this scope; any
+    :meth:`LockdepObserver.on_acquired` event fired by the same thread
+    while inside is reported as a ``snapshot`` violation.  Costs one
+    thread-local store — no effect when no sanitizer is attached.
+    """
+    depth = getattr(_snapshot_local, "depth", 0)
+    _snapshot_local.depth = depth + 1
+    try:
+        yield
+    finally:
+        _snapshot_local.depth = depth
+
+
+def in_snapshot_read() -> bool:
+    """Is the current thread inside a snapshot-read scope?"""
+    return getattr(_snapshot_local, "depth", 0) > 0
+
+
 def classify(resource: Hashable) -> ResourceClass:
     """Map a lock resource to its graph node (its *resource class*).
 
@@ -123,7 +157,7 @@ class Violation:
     """One sanitizer finding.
 
     ``kind`` is stable for tests: ``cycle``, ``upgrade``, ``two-phase``,
-    ``latch``, or ``witness``.
+    ``latch``, ``witness``, or ``snapshot``.
     """
 
     kind: str
@@ -351,6 +385,13 @@ class LockdepObserver:
         _, combine = _mode_tables()
         with self._mu:
             self.acquisitions += 1
+            if in_snapshot_read():
+                self._violate(
+                    "snapshot",
+                    f"transaction {txn_id} acquired {mode.name} on "
+                    f"{resource!r} inside a snapshot-read scope; snapshot "
+                    "reads must be lock-free (RPR008's runtime twin)",
+                )
             if txn_id in self._released:
                 self._violate(
                     "two-phase",

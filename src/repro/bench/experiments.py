@@ -869,7 +869,7 @@ def prefix_compound_ablation(plan: ScalePlan | None = None) -> ExperimentResult:
 
 # Imported here (not at the top) because bench.concurrency needs
 # ExperimentResult from this module.
-from .concurrency import concurrency_throughput  # noqa: E402
+from .concurrency import concurrency_throughput, read_mix_scaling  # noqa: E402
 
 ALL_EXPERIMENTS: tuple[Callable[..., ExperimentResult], ...] = (
     table1_insertions,
@@ -891,6 +891,7 @@ ALL_EXPERIMENTS: tuple[Callable[..., ExperimentResult], ...] = (
     table13_transaction_structures,
     prefix_compound_ablation,
     concurrency_throughput,
+    read_mix_scaling,
 )
 
 

@@ -27,8 +27,17 @@ What gets locked where (the concurrency protocol, see DESIGN.md §5d):
 The witness lock is acquired *after* the probe (we cannot know which
 parent subsumes the value before looking), so the witness may be gone by
 the time the lock is granted — the statement latch is dropped during
-lock waits.  :func:`verify_parent_exists` therefore re-probes under the
-lock and retries with a fresh witness until the check stabilises.
+lock waits.  Without MVCC, :func:`verify_parent_exists` re-probes under
+the lock and retries with a fresh witness until the check stabilises.
+With the MVCC version store attached, the probe-again loop is replaced
+by *commit-time witness re-validation*: the adopted witness is recorded
+on the transaction and :func:`revalidate_witnesses` re-checks every one
+against the latest committed state at commit, aborting with a retryable
+:class:`~repro.errors.SerializationError` if a parent vanished in the
+probe→grant window.
+
+Snapshot reads take **no** logical locks at all — they never reach this
+module.  The lock protocol above is the write path only.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import TYPE_CHECKING, Any
 
+from ..errors import SerializationError
 from ..nulls import NULL
 from .locks import LockManager, LockMode, key_resource, table_resource
 
@@ -180,6 +190,25 @@ def verify_parent_exists(
         if locks.sanitizer is not None:
             locks.sanitizer.on_witness_pinned(txn_id, resource)
         return True
+    if db.versions is not None:
+        # MVCC: probe once, pin the witness S-lock, and record the
+        # adopted key on the transaction.  The probe→grant window (a
+        # committed delete sneaking in before our S is granted) is closed
+        # at commit time by revalidate_witnesses, not by re-probing here.
+        witness = probes.find_eq(parent, columns, values)
+        if witness is None:
+            return False
+        full_key = tuple(fk.parent_values(witness))
+        resource = key_resource(fk.parent_table, fk.key_columns, full_key)
+        locks.acquire(txn_id, resource, LockMode.S)
+        if locks.sanitizer is not None:
+            locks.sanitizer.on_witness_pinned(txn_id, resource)
+        txn = db.active_transaction
+        if txn is not None:
+            txn.record_witness(
+                (fk.parent_table, tuple(fk.key_columns), full_key)
+            )
+        return True
     key_columns = list(fk.key_columns)
     for __ in range(_WITNESS_RETRIES):
         witness = probes.find_eq(parent, columns, values)
@@ -197,3 +226,34 @@ def verify_parent_exists(
                 locks.sanitizer.on_witness_pinned(txn_id, resource)
             return True
     return False
+
+
+def revalidate_witnesses(db: "Database", txn: Any) -> None:
+    """Commit-time witness re-check (MVCC only).
+
+    Every FK witness the transaction adopted must still exist in the
+    latest *committed* state.  The probe runs through the transaction's
+    committed view, so other transactions' uncommitted deletes are
+    ignored (they would have blocked on our S-lock anyway) while a
+    committed delete that won the probe→grant race is detected.  Raises
+    :class:`~repro.errors.SerializationError`; the caller rolls back.
+    """
+    versions = db.versions
+    if versions is None:
+        return
+    witnesses = getattr(txn, "_witnesses", None)
+    if not witnesses:
+        return
+    from ..query import probes
+
+    view = versions.committed_view(txn.txn_id)
+    for parent_table, key_columns, key_values in witnesses:
+        parent = db.tables.get(parent_table)
+        if parent is None or not probes.exists_eq(
+            parent, list(key_columns), list(key_values), view=view
+        ):
+            raise SerializationError(
+                f"{txn.name}: foreign-key witness {key_values!r} in table "
+                f"{parent_table!r} vanished before commit (serialization "
+                f"failure; retry the transaction)"
+            )

@@ -117,50 +117,143 @@ def compatible(held: LockMode, requested: LockMode) -> bool:
 
 
 class StatementLatch:
-    """A re-entrant per-database latch protecting physical structures.
+    """A re-entrant reader/writer latch protecting physical structures.
 
-    Sessions hold the latch for the duration of one statement, so B+ tree
-    splits, heap mutations and WAL appends never interleave between
-    threads.  When a statement must *wait* for a logical lock, the latch
+    Writers (every statement that may mutate: DML, DDL, commit paths)
+    hold the latch *exclusively* for the duration of one statement, so
+    B+ tree splits, heap mutations and WAL appends never interleave
+    between threads — exactly the pre-MVCC behaviour, and ``acquire`` /
+    ``release`` / ``with latch:`` keep meaning exclusive mode.  Snapshot
+    readers hold it *shared* (:meth:`acquire_shared`, :meth:`shared`):
+    any number of readers run together, and the latch is the only thing
+    a snapshot read synchronises on — it takes zero logical locks.
+
+    The latch is writer-preferring: once a writer is waiting, new
+    readers queue behind it, so a 99:1 read mix cannot starve writers.
+    Re-entrancy is per-thread in both modes; a shared request by the
+    thread that already holds exclusive is satisfied by the exclusive
+    hold.  Upgrading (exclusive while holding only shared) deadlocks by
+    construction and is rejected with :class:`ConcurrencyError`.
+
+    When a statement must *wait* for a logical lock, the exclusive hold
     is fully released for the duration of the wait
     (:meth:`release_for_wait`) — otherwise the holder of the conflicting
     lock could never run to commit, a latch-versus-lock deadlock.
     """
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
-        self._local = threading.local()
+        self._mu = threading.Lock()
+        self._cond = threading.Condition(self._mu)
+        self._writer: int | None = None  # thread ident holding exclusive
+        self._writer_depth = 0
+        self._readers = 0  # threads holding shared (first entry only)
+        self._writers_waiting = 0
+        self._local = threading.local()  # per-thread shared-mode depth
 
-    def _depth(self) -> int:
-        return getattr(self._local, "depth", 0)
+    def _shared_depth(self) -> int:
+        return getattr(self._local, "shared_depth", 0)
+
+    # ------------------------------------------------------------------
+    # Exclusive mode (the statement/write path)
 
     def acquire(self) -> None:
-        self._lock.acquire()
-        self._local.depth = self._depth() + 1
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if self._shared_depth() > 0:
+                raise ConcurrencyError(
+                    "latch upgrade: exclusive requested while holding shared"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
 
     def release(self) -> None:
-        self._local.depth = self._depth() - 1
-        self._lock.release()
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise ConcurrencyError(
+                    "latch released by a thread that does not hold it"
+                )
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
 
     def held(self) -> bool:
-        """Does the *current thread* hold the latch?"""
-        return self._depth() > 0
+        """Does the *current thread* hold the latch exclusively?"""
+        return self._writer == threading.get_ident()
+
+    # ------------------------------------------------------------------
+    # Shared mode (the snapshot-read path)
+
+    def acquire_shared(self) -> None:
+        depth = self._shared_depth()
+        if depth:
+            self._local.shared_depth = depth + 1  # re-entrant, no wait
+            return
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # Shared inside our own exclusive hold: already excluded.
+                self._local.shared_depth = 1
+                self._local.shared_counted = False
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        self._local.shared_depth = 1
+        self._local.shared_counted = True
+
+    def release_shared(self) -> None:
+        depth = self._shared_depth()
+        if depth <= 0:
+            raise ConcurrencyError(
+                "shared latch released by a thread that does not hold it"
+            )
+        self._local.shared_depth = depth - 1
+        if depth == 1 and getattr(self._local, "shared_counted", False):
+            self._local.shared_counted = False
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    def shared(self) -> "_SharedLatch":
+        """Context manager for one shared (snapshot-read) hold."""
+        return _SharedLatch(self)
+
+    # ------------------------------------------------------------------
 
     def release_for_wait(self) -> Callable[[], None]:
-        """Fully release the current thread's hold; returns the restorer.
+        """Fully release the current thread's exclusive hold; returns the
+        restorer.
 
         The restorer re-acquires to the previous depth and must be called
         exactly once (``finally``) after the wait finishes.
         """
-        depth = self._depth()
-        for __ in range(depth):
-            self._lock.release()
-        self._local.depth = 0
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise ConcurrencyError(
+                    "release_for_wait by a thread not holding the latch"
+                )
+            depth = self._writer_depth
+            self._writer = None
+            self._writer_depth = 0
+            self._cond.notify_all()
 
         def restore() -> None:
-            for __ in range(depth):
-                self._lock.acquire()
-            self._local.depth = depth
+            self.acquire()
+            with self._cond:
+                self._writer_depth = depth
 
         return restore
 
@@ -170,6 +263,22 @@ class StatementLatch:
 
     def __exit__(self, *exc_info) -> None:
         self.release()
+
+
+class _SharedLatch:
+    """``with latch.shared():`` — one shared hold, released on exit."""
+
+    __slots__ = ("_latch",)
+
+    def __init__(self, latch: StatementLatch) -> None:
+        self._latch = latch
+
+    def __enter__(self) -> StatementLatch:
+        self._latch.acquire_shared()
+        return self._latch
+
+    def __exit__(self, *exc_info) -> None:
+        self._latch.release_shared()
 
 
 @dataclass

@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..query.predicate import Predicate
     from ..query.transaction import Transaction
     from ..storage.database import Database
+    from ..storage.versions import Snapshot
 
 T = TypeVar("T")
 
@@ -49,6 +50,9 @@ class Session:
         self.session_id = session_id
         self._transaction: "Transaction | None" = None
         self._closed = False
+        #: Open MVCC snapshot (see :meth:`begin_snapshot`); while set,
+        #: this session's selects are lock-free reads at its read LSN.
+        self._snapshot: "Snapshot | None" = None
         #: One-shot annotation consumed by the next commit on this
         #: session (see :meth:`annotate_next_commit`).
         self._commit_note: Any = None
@@ -151,7 +155,100 @@ class Session:
         columns: Sequence[str] | None = None,
         limit: int | None = None,
     ) -> list[tuple[Any, ...]]:
+        snap = self._snapshot
+        if snap is not None and not snap.closed:
+            self._check_open()
+            return self._snapshot_read(snap, table, predicate, columns, limit)
         return self.execute(lambda: self.db.select(table, predicate, columns, limit))
+
+    # ------------------------------------------------------------------
+    # Snapshot-isolation reads (MVCC)
+
+    def begin_snapshot(self) -> "Snapshot":
+        """Open a stable read point at the current committed LSN.
+
+        Until :meth:`end_snapshot`, every :meth:`select` on this session
+        is a *snapshot read*: it observes exactly the rows committed at
+        or before the read LSN, holds the statement latch only in shared
+        mode, and acquires **zero** logical locks — concurrent writers
+        are never waited on.  Requires :meth:`Database.enable_mvcc`.
+        """
+        self._check_open()
+        versions = self.db.versions
+        if versions is None:
+            raise SessionError(
+                f"session {self.session_id}: snapshot reads need MVCC "
+                "(call db.enable_mvcc() first)"
+            )
+        if self._snapshot is not None and not self._snapshot.closed:
+            raise SessionError(
+                f"session {self.session_id}: a snapshot is already open"
+            )
+        # Registration mutates the version store's snapshot table, so it
+        # runs exclusive; the reads themselves only take shared.
+        with self.db_latch():
+            self._snapshot = versions.open_snapshot()
+        return self._snapshot
+
+    def end_snapshot(self) -> None:
+        """Close the open snapshot (no-op when none is open)."""
+        snap = self._snapshot
+        self._snapshot = None
+        if snap is not None and not snap.closed:
+            with self.db_latch():
+                snap.close()
+
+    @contextmanager
+    def snapshot(self) -> Iterator["Snapshot"]:
+        """``with session.snapshot():`` — scoped snapshot reads."""
+        snap = self.begin_snapshot()
+        try:
+            yield snap
+        finally:
+            self.end_snapshot()
+
+    def snapshot_select(
+        self,
+        table: str,
+        predicate: "Predicate | None" = None,
+        columns: Sequence[str] | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[Any, ...]]:
+        """One snapshot read: uses the open snapshot, or opens and closes
+        a fresh one around this single statement (the server's
+        ``snapshot: true`` select path)."""
+        self._check_open()
+        snap = self._snapshot
+        if snap is not None and not snap.closed:
+            return self._snapshot_read(snap, table, predicate, columns, limit)
+        snap = self.begin_snapshot()
+        try:
+            return self._snapshot_read(snap, table, predicate, columns, limit)
+        finally:
+            self.end_snapshot()
+
+    def _snapshot_read(
+        self,
+        snap: "Snapshot",
+        table: str,
+        predicate: "Predicate | None",
+        columns: Sequence[str] | None,
+        limit: int | None,
+    ) -> list[tuple[Any, ...]]:
+        """The zero-lock read path: shared latch, no transaction, no
+        lock-manager traffic (the lockdep scope asserts the latter)."""
+        from ..analysis import lockdep
+        from ..query import executor
+
+        latch = self.db_latch()
+        latch.acquire_shared()
+        try:
+            with lockdep.snapshot_read_scope():
+                return executor.select(
+                    self.db, table, predicate, columns, limit, view=snap.view()
+                )
+        finally:
+            latch.release_shared()
 
     # ------------------------------------------------------------------
     # Commit annotation (exactly-once ledger support)
@@ -181,6 +278,7 @@ class Session:
         """Roll back any open transaction and retire the session."""
         if self._closed:
             return
+        self.end_snapshot()
         if self.in_transaction:
             self.rollback()
         self._closed = True
@@ -271,4 +369,8 @@ class SessionManager:
         """Lock-manager counters plus session counts, for the server."""
         snapshot = self.locks.stats.snapshot()
         snapshot["open_sessions"] = len(self.open_sessions)
+        versions = self.db.versions
+        if versions is not None:
+            snapshot["active_snapshots"] = versions.active_snapshots
+            snapshot["row_versions"] = versions.version_count()
         return snapshot

@@ -71,6 +71,16 @@ class SessionError(ConcurrencyError):
     """A session was used incorrectly (closed, wrong thread, ...)."""
 
 
+class SerializationError(ConcurrencyError):
+    """Commit-time validation failed under snapshot isolation.
+
+    Raised when a recorded FK witness no longer exists in the latest
+    committed state at commit time (the parent vanished between the
+    insert-time probe and the commit).  The transaction is rolled back
+    before this propagates; retryable, like PostgreSQL error 40001.
+    """
+
+
 class AnalysisError(ReproError):
     """A correctness-tooling check failed: the lockdep sanitizer found a
     potential deadlock or a locking-discipline violation

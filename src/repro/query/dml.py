@@ -47,6 +47,9 @@ def _log_undo(db: "Database", entry: tuple) -> None:
         if wal is not None:
             # Auto-commit: each statement is its own tiny transaction.
             wal.log_autocommit(entry)
+    versions = db.versions
+    if versions is not None:
+        versions.on_mutation(entry, txn)
 
 
 # ----------------------------------------------------------------------

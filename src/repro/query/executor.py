@@ -22,7 +22,7 @@ from .predicate import Predicate
 
 
 def iter_matching(
-    table: Table, predicate: Predicate | None
+    table: Table, predicate: Predicate | None, view: Any = None
 ) -> Iterator[tuple[int, Row]]:
     """Yield (rid, row) for every row of *table* matching *predicate*.
 
@@ -30,7 +30,19 @@ def iter_matching(
     count examined rows in bulk (the scan may be abandoned early by a
     LIMIT-1 consumer, in which case only the rows actually visited are
     charged — mirroring how a real engine stops reading pages).
+
+    With *view* (an MVCC :class:`~repro.storage.versions.ReadView`) the
+    scan observes the view's read LSN instead of the committed tip; see
+    :func:`_iter_matching_view`.
     """
+    if view is not None:
+        return _iter_matching_view(table, predicate, view)
+    return _iter_matching_tip(table, predicate)
+
+
+def _iter_matching_tip(
+    table: Table, predicate: Predicate | None
+) -> Iterator[tuple[int, Row]]:
     path = planner.plan(table, predicate)
     tracker = table.tracker
     if path.is_full_scan:
@@ -69,17 +81,84 @@ def iter_matching(
         tracker.count("rows_examined", examined)
 
 
+def _iter_matching_view(
+    table: Table, predicate: Predicate | None, view: Any
+) -> Iterator[tuple[int, Row]]:
+    """The snapshot-read scan: resolve every row as of the view's LSN.
+
+    Heap/index entries always reflect the committed tip, so the scan
+    skips every rid the view marks *divergent* (uncommitted writes by
+    others, or commits newer than the read LSN) and afterwards
+    supplements them — resolved through :meth:`ReadView.row` and run
+    through the **full** compiled predicate, since an index hit on the
+    tip proves nothing about an older version.  Cost accounting mirrors
+    the tip-state scan: examined rows, heap fetches and full scans are
+    charged the same way.
+    """
+    tracker = table.tracker
+    name = table.name
+    divergent = view.divergent_rids(name)
+    full_test = None if predicate is None else predicate.compile(table.schema)
+    path = planner.plan(table, predicate)
+
+    if path.is_full_scan:
+        tracker.count("full_scans")
+        examined = 0
+        try:
+            for rid, row in table.heap.scan_unordered():
+                if rid in divergent:
+                    continue
+                examined += 1
+                if full_test is None or full_test(row):
+                    yield rid, row
+        finally:
+            tracker.count("rows_examined", examined)
+    else:
+        assert path.index is not None
+        residual_test = full_test if path.needs_filter else None
+        get_row = table.heap.get
+        fetched = 0
+        examined = 0
+        try:
+            for rid in path.index.scan_equal(path.prefix_values):
+                if rid in divergent:
+                    continue
+                row = get_row(rid)
+                fetched += 1
+                if residual_test is not None:
+                    examined += 1
+                    if not residual_test(row):
+                        continue
+                yield rid, row
+        finally:
+            tracker.count("rows_fetched", fetched)
+            tracker.count("rows_examined", examined)
+
+    examined = 0
+    try:
+        for rid in sorted(divergent):
+            row = view.row(name, rid)
+            if row is None:
+                continue
+            examined += 1
+            if full_test is None or full_test(row):
+                yield rid, row
+    finally:
+        tracker.count("rows_examined", examined)
+
+
 def select(
     db: Database,
     table_name: str,
     predicate: Predicate | None = None,
     columns: Sequence[str] | None = None,
     limit: int | None = None,
+    view: Any = None,
 ) -> list[tuple[Any, ...]]:
     """Materialise matching rows, optionally projected and limited."""
     table = db.table(table_name)
     out: list[tuple[Any, ...]] = []
-    for __, row in iter_matching(table, predicate):
+    for __, row in iter_matching(table, predicate, view):
         out.append(table.project(row, columns) if columns else row)
         if limit is not None and len(out) >= limit:
             break
@@ -103,7 +182,10 @@ def select_rids(
 
 
 def exists(
-    db: Database, table_name: str, predicate: Predicate | None = None
+    db: Database,
+    table_name: str,
+    predicate: Predicate | None = None,
+    view: Any = None,
 ) -> bool:
     """LIMIT-1 existence probe — the primitive of the paper's triggers.
 
@@ -111,7 +193,7 @@ def exists(
     O(height) index nodes, while a failing full scan touches every row.
     """
     table = db.table(table_name)
-    for __ in iter_matching(table, predicate):
+    for __ in iter_matching(table, predicate, view):
         return True
     return False
 

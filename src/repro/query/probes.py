@@ -149,9 +149,17 @@ class PreparedProbe:
 
     # ------------------------------------------------------------------
 
-    def exists(self, values: Sequence[Any]) -> bool:
+    def exists(self, values: Sequence[Any], view: Any = None) -> bool:
         """LIMIT-1 probe: any row with ``columns = values`` (total
-        values) and ``null_columns IS NULL``?"""
+        values) and ``null_columns IS NULL``?
+
+        With a *view* (an MVCC :class:`~repro.storage.versions.ReadView`)
+        the probe answers as of the view's read LSN instead of the
+        committed tip; the lock-free snapshot read path and the
+        commit-time witness re-check both go through this.
+        """
+        if view is not None:
+            return self._find_view(values, view) is not None
         self._bind(values)
         table = self.table
         tracker = table.tracker
@@ -193,8 +201,10 @@ class PreparedProbe:
             tracker.count("rows_fetched", fetched)
             tracker.count("rows_examined", fetched)
 
-    def find(self, values: Sequence[Any]) -> Sequence[Any] | None:
+    def find(self, values: Sequence[Any], view: Any = None) -> Sequence[Any] | None:
         """LIMIT-1 *witness* probe: the first matching row, or None."""
+        if view is not None:
+            return self._find_view(values, view)
         self._bind(values)
         table = self.table
         tracker = table.tracker
@@ -229,6 +239,69 @@ class PreparedProbe:
         finally:
             tracker.count("rows_fetched", fetched)
             tracker.count("rows_examined", fetched)
+
+
+    def _find_view(self, values: Sequence[Any], view: Any) -> Sequence[Any] | None:
+        """The probe against an MVCC read view.
+
+        Same access path and cost accounting as the tip-state probe, with
+        two differences: rids the view marks divergent are skipped (their
+        heap state must not be trusted) and then re-resolved through
+        :meth:`ReadView.row` under the *full* equality check — and the
+        no-residual ``_first`` shortcut is never taken, since an index
+        hit alone cannot prove the row is visible at the read LSN.
+        """
+        self._bind(values)
+        table = self.table
+        tracker = table.tracker
+        null_positions = self._null_positions
+        eq_positions = self._eq_positions
+        name = table.name
+        divergent = view.divergent_rids(name)
+
+        if self._full_scan:
+            tracker.count("full_scans")
+            examined = 0
+            try:
+                for rid, row in table.heap.scan_unordered():
+                    if rid in divergent:
+                        continue
+                    examined += 1
+                    if _matches(row, eq_positions, null_positions, values):
+                        return row
+            finally:
+                tracker.count("rows_examined", examined)
+        else:
+            prefix = tuple(
+                [encode_component(values[slot]) for slot in self._prefix_slots]
+            )
+            residual = self._residual
+            get_row = table.heap.get
+            fetched = 0
+            try:
+                for __, rid in self._scan(prefix):
+                    if rid in divergent:
+                        continue
+                    fetched += 1
+                    row = get_row(rid)
+                    if _matches(row, residual, null_positions, values):
+                        return row
+            finally:
+                tracker.count("rows_fetched", fetched)
+                tracker.count("rows_examined", fetched)
+
+        examined = 0
+        try:
+            for rid in sorted(divergent):
+                old_row = view.row(name, rid)
+                if old_row is None:
+                    continue
+                examined += 1
+                if _matches(old_row, eq_positions, null_positions, values):
+                    return old_row
+            return None
+        finally:
+            tracker.count("rows_examined", examined)
 
 
 def _matches(
@@ -269,15 +342,16 @@ def exists_eq(
     columns: Sequence[str],
     values: Sequence[Any],
     null_columns: Sequence[str] = (),
+    view: Any = None,
 ) -> bool:
     """LIMIT-1 probe: any row with ``columns = values`` (total values)
     and ``null_columns IS NULL``?
 
     Equivalent to ``executor.exists(db, table, equalities(...))`` but
     through the prepared-probe cache: no predicate objects, no per-call
-    planning.
+    planning.  With *view*, answers as of that MVCC read view.
     """
-    return prepared(table, columns, null_columns).exists(values)
+    return prepared(table, columns, null_columns).exists(values, view)
 
 
 def find_eq(
@@ -285,6 +359,7 @@ def find_eq(
     columns: Sequence[str],
     values: Sequence[Any],
     null_columns: Sequence[str] = (),
+    view: Any = None,
 ) -> Sequence[Any] | None:
     """LIMIT-1 *witness* probe: the first row with ``columns = values``
     (and ``null_columns IS NULL``), or None.
@@ -294,4 +369,4 @@ def find_eq(
     full key before trusting the probe (see
     :func:`repro.concurrency.hooks.verify_parent_exists`).
     """
-    return prepared(table, columns, null_columns).find(values)
+    return prepared(table, columns, null_columns).find(values, view)

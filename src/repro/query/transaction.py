@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..errors import TransactionError, TransactionStateError
+from ..errors import SerializationError, TransactionError, TransactionStateError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.database import Database
@@ -141,6 +141,10 @@ class Transaction:
         self._state = _OPEN
         self._savepoints: list[Savepoint] = []
         self._sp_counter = 0
+        #: FK witnesses adopted by this transaction's child-side checks
+        #: (parent table, key columns, key values) — re-validated against
+        #: the latest committed state at commit time under MVCC.
+        self._witnesses: set[tuple] = set()
         wal = db.wal
         self.wal_txn_id: int | None = wal.begin() if wal is not None else None
         db._active_transaction = self
@@ -222,12 +226,29 @@ class Transaction:
 
     # ------------------------------------------------------------------
 
+    def record_witness(self, witness: tuple) -> None:
+        """Remember an adopted FK witness for commit-time re-validation."""
+        self._witnesses.add(witness)
+
     def commit(self) -> None:
         """Make the batch permanent and close the transaction."""
         if self._db._crashed:
             return  # a crashed process commits nothing
         if self._state != _OPEN:
             raise TransactionError(f"cannot commit: transaction {self._state}")
+        versions = self._db.versions
+        if versions is not None and self._witnesses:
+            # Commit-time witness re-check: every parent this transaction
+            # adopted must still exist in the latest committed state.  On
+            # failure the transaction rolls itself back (releasing locks)
+            # and raises a retryable serialization error.
+            from ..concurrency import hooks
+
+            try:
+                hooks.revalidate_witnesses(self._db, self)
+            except SerializationError:
+                self.rollback()
+                raise
         # A pending session annotation (exactly-once ledger entry) rides
         # inside the commit record; consume it even without a WAL so a
         # stale note can never attach to a later commit.
@@ -238,6 +259,8 @@ class Transaction:
         )
         if self.wal_txn_id is not None:
             self._db.wal.commit(self.wal_txn_id, note)
+        if versions is not None:
+            versions.on_commit(self.txn_id)
         self._undo.clear()
         self._close(_COMMITTED)
 
@@ -259,6 +282,10 @@ class Transaction:
         for entry in reversed(self._undo):
             self._undo_entry(entry)
         self._undo.clear()
+        versions = self._db.versions
+        if versions is not None:
+            # Physical undo restored the heap tips; just drop the overlay.
+            versions.on_rollback(self.txn_id)
         if self.session is not None:
             self.session._take_commit_note()  # discard: nothing committed
         if self.wal_txn_id is not None:

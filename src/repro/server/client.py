@@ -347,11 +347,19 @@ class ReproClient:
         equals: dict[str, Any] | None = None,
         columns: Sequence[str] | None = None,
         limit: int | None = None,
+        snapshot: bool = False,
     ) -> list[list[Any]]:
-        return self.request(
-            "select", table=table, equals=equals,
-            columns=list(columns) if columns else None, limit=limit,
-        )["rows"]
+        """Read rows.  With ``snapshot=True`` the server runs the read as
+        a lock-free MVCC snapshot at the latest committed LSN — it never
+        waits on writers, at the price of not seeing this connection's
+        own open transaction."""
+        payload: dict[str, Any] = {
+            "table": table, "equals": equals,
+            "columns": list(columns) if columns else None, "limit": limit,
+        }
+        if snapshot:
+            payload["snapshot"] = True
+        return self.request("select", **payload)["rows"]
 
     def begin(self) -> int:
         return self.request("begin")["txn_id"]

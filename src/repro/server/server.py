@@ -53,6 +53,7 @@ from ..errors import (
     DeadlockError,
     LockTimeoutError,
     ReproError,
+    SerializationError,
     TransientFault,
 )
 from ..query.predicate import And, Eq, IsNull, Predicate
@@ -82,7 +83,7 @@ DEFAULT_CHECKPOINT_EVERY = 256
 #: How often blocked accept/recv loops wake to check for shutdown.
 _POLL_S = 0.2
 
-_RETRYABLE = (DeadlockError, LockTimeoutError, TransientFault)
+_RETRYABLE = (DeadlockError, LockTimeoutError, SerializationError, TransientFault)
 
 #: Ops that may commit under an idempotency key.  ``begin`` is absent on
 #: purpose: retrying it on a fresh connection is inherently safe (the
@@ -152,6 +153,11 @@ class ReproServer:
         if self.db.session_manager is None:
             self.db.enable_sessions(lock_timeout=lock_timeout)
         self.sessions = self.db.session_manager
+        # MVCC is always on under the server: selects may opt into
+        # lock-free snapshot reads, and FK witnesses are re-validated at
+        # commit (a vanished parent aborts with a retryable
+        # SerializationError instead of re-probing under the lock).
+        self.db.enable_mvcc()
         self.host = host
         self._requested_port = port
         self.stats = ServerStats()
@@ -551,9 +557,16 @@ class ReproServer:
         predicate = _predicate_from(request.get("equals"))
         columns = request.get("columns")
         limit = request.get("limit")
-        rows = self._admitted(
-            lambda: session.select(table, predicate, columns, limit)
-        )
+        if request.get("snapshot"):
+            # Lock-free MVCC read at the latest committed LSN: shared
+            # statement latch only, zero lock-manager traffic.
+            rows = self._admitted(
+                lambda: session.snapshot_select(table, predicate, columns, limit)
+            )
+        else:
+            rows = self._admitted(
+                lambda: session.select(table, predicate, columns, limit)
+            )
         return {"ok": True, "rows": [wire.encode_row(r) for r in rows]}
 
     def _op_begin(self, session, sql_session, request, entry) -> dict[str, Any]:

@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..query.predicate import Predicate
     from ..query.transaction import SavepointScope, Transaction
     from .verify import IntegrityReport
+    from .versions import VersionStore
     from .wal import WriteAheadLog
 
 
@@ -57,6 +58,10 @@ class Database:
         self._session_manager: "SessionManager | None" = None
         self._txn_counter = 0
         self._wal: "WriteAheadLog | None" = None
+        #: MVCC version store (attached by :meth:`enable_mvcc`); when
+        #: present, the DML funnel records row versions and sessions may
+        #: open lock-free snapshot reads.
+        self._versions: "VersionStore | None" = None
         #: Set by a simulated crash: the 'process' is dead, transaction
         #: cleanup becomes a no-op, and only recovery may touch state.
         self._crashed = False
@@ -74,6 +79,8 @@ class Database:
         if name in self.tables:
             raise CatalogError(f"table {name!r} already exists")
         table = Table(name, columns, self.tracker, self._index_order)
+        if self._versions is not None:
+            table.heap.recycle_rids = False
         self.tables[name] = table
         if self._wal is not None:
             self._wal.log_ddl(self, "create_table", name, (table.schema,))
@@ -282,6 +289,29 @@ class Database:
             return self._session_manager
         self._session_manager = SessionManager(self, **kwargs)
         return self._session_manager
+
+    # ------------------------------------------------------------------
+    # MVCC
+
+    @property
+    def versions(self) -> "VersionStore | None":
+        return self._versions
+
+    def enable_mvcc(self) -> "VersionStore":
+        """Attach the MVCC version store; idempotent.
+
+        From here on the DML funnel records per-row version chains, rid
+        reuse is deferred to version GC, and sessions may open snapshot
+        reads (:meth:`repro.concurrency.session.Session.begin_snapshot`)
+        that take zero locks.  Writers keep strict 2PL unchanged.
+        """
+        if self._versions is None:
+            from .versions import VersionStore
+
+            self._versions = VersionStore(self)
+            for table in self.tables.values():
+                table.heap.recycle_rids = False
+        return self._versions
 
     # ------------------------------------------------------------------
     # Write-ahead log, crash simulation and integrity verification

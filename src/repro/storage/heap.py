@@ -23,6 +23,11 @@ class HeapFile:
         self._rows: dict[int, Row] = {}
         self._next_rid = 0
         self._free: list[int] = []
+        #: When False (MVCC mode), deleted rids are NOT put back on the
+        #: freelist at delete time: old row versions may still be reachable
+        #: through the version store, and reusing the rid would alias them.
+        #: The version store hands pruned rids back via :meth:`recycle`.
+        self.recycle_rids = True
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -57,8 +62,20 @@ class HeapFile:
         """Remove and return the row at *rid*."""
         row = self.get(rid)
         del self._rows[rid]
-        self._free.append(rid)
+        if self.recycle_rids:
+            self._free.append(rid)
         return row
+
+    def recycle(self, rid: int) -> None:
+        """Return a deferred rid to the freelist (MVCC version GC path).
+
+        Only meaningful when ``recycle_rids`` is False: once the version
+        store has pruned every version of a deleted row, the rid can no
+        longer be observed by any snapshot and is safe to reuse.
+        """
+        if rid in self._rows or rid in self._free or rid >= self._next_rid:
+            return
+        self._free.append(rid)
 
     def restore(self, rid: int, row: Row) -> None:
         """Re-insert a row at a specific rid (transaction rollback path)."""

@@ -16,6 +16,11 @@ other?*  Three layers are cross-checked:
    re-validated from scratch under its MATCH semantics
    (:func:`repro.constraints.checker.check_database`).
 
+With MVCC enabled a fourth layer rides along: every table's version
+chains must be well-formed (strictly decreasing LSNs, no empty chains,
+and the head of every non-pending chain equal to the committed tip) —
+see :meth:`repro.storage.versions.VersionStore.check_well_formed`.
+
 The report is hierarchical (per table, per index) so the ``python -m
 repro verify`` CLI can print exactly where a disagreement lives.
 """
@@ -194,9 +199,14 @@ def verify_integrity(db: "Database") -> IntegrityReport:
     from ..constraints.checker import check_database
 
     report = IntegrityReport(database=db.name)
+    versions = db.versions
     for table in db.tables.values():
         table_report = TableReport(name=table.name, rows=table.row_count)
         table_report.problems.extend(_verify_statistics(table))
+        if versions is not None:
+            table_report.problems.extend(
+                versions.check_well_formed(table.name)
+            )
         for index in table.indexes:
             table_report.indexes.append(_verify_index(table, index))
         report.tables.append(table_report)

@@ -370,6 +370,10 @@ class WriteAheadLog:
             lsn=self._next_lsn, tables=tables, extras=dict(extras or {})
         )
         self._durable.clear()
+        # Version GC piggybacks on checkpoints: everything below the
+        # oldest active snapshot's read LSN is unreachable by any reader.
+        if db.versions is not None:
+            db.versions.prune()
         if self._store is not None:
             self._store.write_checkpoint(
                 pickle.dumps(self._checkpoint, pickle.HIGHEST_PROTOCOL)
@@ -498,6 +502,11 @@ def recover(db: "Database", wal: WriteAheadLog | None = None) -> RecoveryReport:
     db._active_transaction = None
     db._crashed = False
     wal._buffer.clear()
+    # The crash also killed every snapshot and in-flight version: the
+    # recovered heap *is* the committed tip, so the version store
+    # restarts empty with its LSN clock resumed past the log.
+    if db.versions is not None:
+        db.versions.reset()
     return report
 
 

@@ -236,12 +236,14 @@ class _Worker:
 
     def __init__(
         self, worker_id: int, seed: int, address: tuple[str, int],
-        stop: threading.Event,
+        stop: threading.Event, snapshot_reads: bool = False,
     ) -> None:
         self.worker_id = worker_id
         self.rng = random.Random((seed << 8) | worker_id)
         self.address = address
         self.stop = stop
+        #: Run the select slice of the mix as MVCC snapshot reads.
+        self.snapshot_reads = snapshot_reads
         #: id -> True (acked present) / False (acked absent).
         self.expected: dict[int, bool] = {}
         #: ids whose final delivery outcome is unknown (0-or-1 allowed).
@@ -294,6 +296,7 @@ class _Worker:
                     elif roll < 0.92:
                         client.retrying(lambda: client.select(
                             "C", equals={"id": self.rng.randrange(self._next + 1)},
+                            snapshot=self.snapshot_reads,
                         ))
                     else:
                         self._delete_parent(client)
@@ -399,6 +402,7 @@ def run_chaos(
     checkpoint_every: int = 64,
     wire_faults: bool = True,
     quick: bool = False,
+    snapshot_reads: bool = False,
 ) -> ChaosReport:
     """Run the soak; returns the report (``report.ok`` is the verdict)."""
     import shutil
@@ -437,7 +441,8 @@ def run_chaos(
             client_address = proxy.address
 
         workers = [
-            _Worker(w + 1, seed, client_address, stop) for w in range(clients)
+            _Worker(w + 1, seed, client_address, stop, snapshot_reads)
+            for w in range(clients)
         ]
         for worker in workers:
             worker.thread.start()
@@ -521,6 +526,7 @@ def main(argv: list[str] | None = None) -> int:
     seed, cycles, clients, quick = 0, 25, 4, False
     data_dir: str | None = None
     wire_faults = True
+    snapshot_reads = False
     it = iter(argv)
     for arg in it:
         if arg == "--seed":
@@ -535,6 +541,8 @@ def main(argv: list[str] | None = None) -> int:
             wire_faults = False
         elif arg == "--quick":
             quick = True
+        elif arg == "--snapshot-reads":
+            snapshot_reads = True
         else:
             print(f"unknown chaos option {arg!r}", file=sys.stderr)
             return 1
@@ -545,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
         data_dir=data_dir,
         wire_faults=wire_faults,
         quick=quick,
+        snapshot_reads=snapshot_reads,
     )
     print(report.render())
     return 0 if report.ok else 1

@@ -1,0 +1,22 @@
+"""RPR008 fixture: a snapshot-read path acquiring a read lock."""
+
+from repro.concurrency.locks import LockMode, table_resource
+
+
+def snapshot_read_rows(locks, txn_id, table):
+    # BAD: a snapshot read must never touch the lock manager.
+    locks.acquire(txn_id, table_resource(table), LockMode.IS)
+    return []
+
+
+def locked_read_rows(locks, txn_id, table):
+    # Fine: the 2PL read path legitimately takes IS/S locks; the rule
+    # only covers functions on the snapshot-read path.
+    locks.acquire(txn_id, table_resource(table), LockMode.IS)
+    return []
+
+
+def snapshot_write_locks_ok(locks, txn_id, resource):
+    # Fine even on a snapshot path: only the *read* modes are banned
+    # (commit-time machinery may hold X/IX from the write protocol).
+    locks.acquire(txn_id, resource, LockMode.X)

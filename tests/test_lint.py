@@ -118,6 +118,23 @@ def test_rpr007_only_applies_to_server_modules():
     assert lint.lint_source(source, "repro.query.dml") == []
 
 
+def test_rpr008_snapshot_path_read_lock():
+    violations = _lint_fixture("rpr008_snapshot_read_lock.py")
+    assert [v.code for v in violations] == ["RPR008"]
+    assert "snapshot_read_rows" in violations[0].message
+    assert "LockMode.IS" in violations[0].message
+    # The 2PL read path and the X-mode call below it stay clean.
+    assert violations[0].line < 14
+
+
+def test_rpr008_versions_module_covered_entirely():
+    # Inside repro.storage.versions every function is a snapshot path,
+    # whatever its name — locked_read_rows gets flagged there too.
+    source = (FIXTURES / "rpr008_snapshot_read_lock.py").read_text()
+    violations = lint.lint_source(source, "repro.storage.versions")
+    assert [v.code for v in violations] == ["RPR008"] * 2
+
+
 # ----------------------------------------------------------------------
 # Repo-level properties.
 

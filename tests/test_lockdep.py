@@ -236,6 +236,49 @@ def test_intention_lock_is_not_a_witness():
     assert [v.kind for v in observer.findings()] == ["witness"]
 
 
+def test_lock_inside_snapshot_read_scope_is_a_violation():
+    """RPR008's runtime twin: any lock-manager grant observed inside a
+    snapshot-read scope is reported, whatever its mode."""
+    with lockdep.scoped() as observers:
+        locks = LockManager(sanitize=True)
+        with lockdep.snapshot_read_scope():
+            locks.acquire(1, A, LockMode.IS)
+        locks.release_all(1)
+        violations = _findings(observers, "snapshot")
+    assert len(violations) == 1
+    assert "lock-free" in violations[0].message
+
+
+def test_snapshot_scope_off_the_read_path_is_clean():
+    # The same grant outside the scope is ordinary 2PL traffic.
+    with lockdep.scoped() as observers:
+        locks = LockManager(sanitize=True)
+        locks.acquire(1, A, LockMode.IS)
+        locks.release_all(1)
+        assert _findings(observers, "snapshot") == []
+    assert not lockdep.in_snapshot_read()
+
+
+def test_snapshot_reads_through_sessions_are_lockdep_clean(monkeypatch):
+    """A real MVCC snapshot read under the armed sanitizer: zero lock
+    traffic, zero findings — the legitimate no-read-locks state."""
+    monkeypatch.setenv(lockdep.ENV_FLAG, "1")
+    with lockdep.scoped() as observers:
+        db = _two_table_db()
+        db.enable_mvcc()
+        manager = db.enable_sessions(lock_timeout=5.0)
+        s1, s2 = manager.session(), manager.session()  # two: solo is off
+        try:
+            with s1.snapshot():
+                assert s1.select("P", Eq("id", 0))
+                s2.insert("C", (99, "w"))
+                assert not s1.select("C", Eq("id", 99))
+        finally:
+            s1.close()
+            s2.close()
+        assert _findings(observers) == []
+
+
 # ----------------------------------------------------------------------
 # The seeded session-level inversion (ISSUE satellite).
 

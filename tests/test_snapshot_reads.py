@@ -1,0 +1,301 @@
+"""Snapshot-isolation reads end to end (sessions, engine, server).
+
+The acceptance properties of the MVCC tentpole:
+
+* snapshot reads observe a stable committed point and acquire **zero**
+  lock-manager locks — writers are never waited on;
+* the commit-time witness re-check closes the probe→grant window of the
+  FK child-side check: a parent delete that commits between the witness
+  probe and the S-lock grant aborts the child's transaction with a
+  retryable :class:`~repro.errors.SerializationError` (the
+  writer-vs-deleter phantom-parent regression);
+* the server exposes both: ``snapshot: true`` selects and retryable
+  serialization failures over the wire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    DataType,
+    EnforcedForeignKey,
+    Eq,
+    ForeignKey,
+    IndexStructure,
+    MatchSemantics,
+    PrimaryKey,
+)
+from repro.concurrency.locks import LockManager, LockMode
+from repro.errors import SerializationError, SessionError
+from repro.server import ReproClient, ReproServer, ServerError
+
+
+def _pv_db(mvcc: bool = True) -> Database:
+    db = Database("snapshots")
+    db.create_table("P", [
+        Column("id", DataType.INTEGER, nullable=False),
+        Column("v", DataType.TEXT),
+    ])
+    db.add_candidate_key(PrimaryKey("P", ("id",)))
+    for i in range(3):
+        db.table("P").insert_row((i, f"p{i}"))
+    if mvcc:
+        db.enable_mvcc()
+    return db
+
+
+def _two_sessions(db: Database, timeout: float = 5.0):
+    # Two open sessions keep the lock manager out of solo mode, so the
+    # zero-locks claim is tested against the real multi-session paths.
+    manager = db.enable_sessions(lock_timeout=timeout)
+    return manager, manager.session(), manager.session()
+
+
+# ----------------------------------------------------------------------
+# Session-level snapshot reads.
+
+
+def test_snapshot_scope_pins_a_stable_committed_point():
+    db = _pv_db()
+    manager, s1, s2 = _two_sessions(db)
+    try:
+        with s1.snapshot():
+            assert len(s1.select("P")) == 3
+            s2.insert("P", (10, "new"))
+            s2.delete_where("P", Eq("id", 0))
+            s2.update_where("P", {"v": "patched"}, Eq("id", 1))
+            rows = sorted(s1.select("P"))
+            assert rows == [(0, "p0"), (1, "p1"), (2, "p2")]
+        # Scope closed: the same selects now read the latest commits.
+        assert sorted(s1.select("P")) == [
+            (1, "patched"), (2, "p2"), (10, "new"),
+        ]
+    finally:
+        s1.close()
+        s2.close()
+
+
+def test_snapshot_reads_acquire_zero_locks():
+    db = _pv_db()
+    manager, s1, s2 = _two_sessions(db)
+    try:
+        before = manager.locks.stats.snapshot()
+        assert s1.snapshot_select("P", Eq("id", 2)) == [(2, "p2")]
+        with s1.snapshot():
+            for i in range(3):
+                s1.select("P", Eq("id", i))
+        after = manager.locks.stats.snapshot()
+        assert after["acquired"] == before["acquired"]
+        assert after["waits"] == before["waits"]
+        # Contrast: the 2PL read path moves the counters (>= the table IS).
+        s1.select("P", Eq("id", 2))
+        assert manager.locks.stats.snapshot()["acquired"] > after["acquired"]
+    finally:
+        s1.close()
+        s2.close()
+
+
+def test_snapshot_reader_never_waits_on_an_open_writer():
+    db = _pv_db()
+    # A tight lock timeout turns "reader blocked on writer" into a fast
+    # failure instead of a hung test.
+    manager, s1, s2 = _two_sessions(db, timeout=0.5)
+    try:
+        s2.begin()
+        s2.update_where("P", {"v": "dirty"}, Eq("id", 0))  # holds X
+        assert s1.snapshot_select("P", Eq("id", 0)) == [(0, "p0")]
+        s2.commit()
+        assert s1.snapshot_select("P", Eq("id", 0)) == [(0, "dirty")]
+    finally:
+        s1.close()
+        s2.close()
+
+
+def test_snapshot_needs_mvcc_and_rejects_nesting():
+    db = _pv_db(mvcc=False)
+    manager, s1, s2 = _two_sessions(db)
+    try:
+        with pytest.raises(SessionError):
+            s1.begin_snapshot()
+    finally:
+        s1.close()
+        s2.close()
+    db = _pv_db()
+    manager, s1, s2 = _two_sessions(db)
+    try:
+        with s1.snapshot():
+            with pytest.raises(SessionError):
+                s1.begin_snapshot()
+        s1.end_snapshot()  # idempotent when nothing is open
+    finally:
+        s1.close()
+        s2.close()
+
+
+def test_session_close_releases_its_snapshot():
+    db = _pv_db()
+    manager, s1, s2 = _two_sessions(db)
+    s1.begin_snapshot()
+    assert db.versions.active_snapshots == 1
+    s1.close()
+    s2.close()
+    assert db.versions.active_snapshots == 0
+
+
+# ----------------------------------------------------------------------
+# The phantom-parent race (writer vs deleter).
+
+
+def _fk_db() -> Database:
+    db = Database("phantom")
+    db.create_table("P", [
+        Column("k1", DataType.INTEGER, nullable=False),
+        Column("k2", DataType.INTEGER, nullable=False),
+    ])
+    db.add_candidate_key(PrimaryKey("P", ("k1", "k2")))
+    db.create_table("C", [
+        Column("id", DataType.INTEGER, nullable=False),
+        Column("k1", DataType.INTEGER),
+        Column("k2", DataType.INTEGER),
+    ])
+    for i in range(4):
+        db.table("P").insert_row((i, i * 10))
+    fk = ForeignKey("fk_c_p", "C", ("k1", "k2"), "P", ("k1", "k2"),
+                    match=MatchSemantics.PARTIAL)
+    fk.validate_against(db)
+    EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+    db.enable_mvcc()
+    return db
+
+
+def test_commit_time_recheck_closes_the_phantom_parent_race(monkeypatch):
+    """The regression the re-verify loop used to cover: session B's
+    parent delete commits inside A's probe→grant window.  A's child
+    insert succeeds against the stale witness, so A's *commit* must fail
+    with a retryable serialization error and roll back."""
+    db = _fk_db()
+    manager, sa, sb = _two_sessions(db)
+    original = LockManager.acquire
+    state = {"armed": True}
+
+    def racing_acquire(self, txn_id, resource, mode, timeout=None):
+        # The first witness S request is exactly the window: the probe
+        # has chosen P(2, 20), the lock is not yet granted.
+        if state["armed"] and mode is LockMode.S and resource[0] == "key":
+            state["armed"] = False
+            sb.delete_where("P", Eq("k1", 2) & Eq("k2", 20))
+        return original(self, txn_id, resource, mode, timeout)
+
+    monkeypatch.setattr(LockManager, "acquire", racing_acquire)
+    try:
+        sa.begin()
+        sa.insert("C", (1, 2, 20))  # witness P(2,20) vanishes mid-grant
+        assert not state["armed"], "the race window was never exercised"
+        with pytest.raises(SerializationError) as info:
+            sa.commit()
+        assert "(2, 20)" in str(info.value)
+        # Rolled back: no phantom-parented child survives, and integrity
+        # holds — the exact anomaly the re-check exists to prevent.
+        assert sa.select("C") == []
+        assert db.verify_integrity().ok
+        # The session stays usable: the standard retry succeeds now that
+        # the probe picks a live parent.
+        sa.insert("C", (1, 3, 30))
+        assert sa.select("C", Eq("id", 1)) == [(1, 3, 30)]
+    finally:
+        sa.close()
+        sb.close()
+
+
+def test_witness_recheck_passes_when_the_parent_survives():
+    db = _fk_db()
+    manager, sa, sb = _two_sessions(db)
+    try:
+        sa.begin()
+        sa.insert("C", (7, 1, 10))
+        sa.commit()  # revalidation runs and finds P(1, 10) alive
+        assert sa.select("C", Eq("id", 7)) == [(7, 1, 10)]
+    finally:
+        sa.close()
+        sb.close()
+
+
+# ----------------------------------------------------------------------
+# Over the wire.
+
+
+def _fk_server(**kwargs) -> ReproServer:
+    db = Database("served")
+    server = ReproServer(db, **kwargs)
+    from repro.sql import SqlSession
+
+    SqlSession(db).execute("""
+        CREATE TABLE tour (tour_id TEXT NOT NULL, site_code TEXT NOT NULL,
+            site_name TEXT, PRIMARY KEY (tour_id, site_code));
+        CREATE TABLE booking (visitor_id INTEGER NOT NULL, tour_id TEXT,
+            site_code TEXT, day TEXT,
+            FOREIGN KEY (tour_id, site_code)
+                REFERENCES tour (tour_id, site_code)
+                MATCH PARTIAL WITH STRUCTURE bounded);
+        INSERT INTO tour VALUES ('GCG','OR','x'), ('BRT','OR','x'),
+            ('BRT','MV','x');
+    """)
+    return server
+
+
+def test_server_snapshot_select_skips_uncommitted_writes():
+    with _fk_server() as server:
+        assert server.db.versions is not None  # MVCC is always on
+        with ReproClient(*server.address) as c1, \
+                ReproClient(*server.address) as c2:
+            c1.begin()
+            c1.insert("booking", [1001, "BRT", "OR", "d1"])
+            # c2's snapshot read neither sees the open transaction nor
+            # waits on its locks.
+            assert c2.select("booking", snapshot=True) == []
+            c1.commit()
+            assert c2.select("booking", snapshot=True) == [
+                [1001, "BRT", "OR", "d1"]
+            ]
+            stats = c1.stats()
+            assert stats["locks"]["active_snapshots"] == 0
+            assert "row_versions" in stats["locks"]
+
+
+def test_serialization_failure_is_retryable_over_the_wire(monkeypatch):
+    from repro.concurrency import hooks
+
+    real = hooks.revalidate_witnesses
+    state = {"fired": False}
+
+    def first_commit_races(db, txn):
+        if not state["fired"]:
+            state["fired"] = True
+            raise SerializationError(
+                "txn: foreign-key witness vanished before commit "
+                "(serialization failure; retry the transaction)"
+            )
+        real(db, txn)
+
+    monkeypatch.setattr(hooks, "revalidate_witnesses", first_commit_races)
+    with _fk_server() as server:
+        with ReproClient(*server.address) as c1, \
+                ReproClient(*server.address) as c2:
+            c1.begin()
+            c1.insert("booking", [1001, "BRT", "OR", "d1"])
+            with pytest.raises(ServerError) as info:
+                c1.commit()
+            assert info.value.error_type == "SerializationError"
+            assert info.value.retryable
+            # The server rolled the transaction back and the session
+            # stays usable — the documented client policy is "retry".
+            assert c1.select("booking") == []
+            c1.begin()
+            c1.insert("booking", [1001, "BRT", "OR", "d1"])
+            c1.commit()
+            assert c2.select("booking", snapshot=True) == [
+                [1001, "BRT", "OR", "d1"]
+            ]
