@@ -27,7 +27,8 @@ Commands:
                             WAL-before-mutation, latch discipline).
                             Exits non-zero if any rule fires.
 * ``serve [--host H] [--port P] [--demo] [--schema S] [--data-dir D]
-          [--checkpoint-every N]``
+          [--checkpoint-every N] [--shard-index I --shard-count N]
+          [--lock-timeout S]``
                           — start the wire server (length-prefixed JSON
                             protocol; see repro.server).  --demo (or
                             --schema demo) preloads the Example 1 schema
@@ -36,9 +37,23 @@ Commands:
                             file-backed: acked commits survive kill -9
                             and the server replays them on restart,
                             checkpointing every N ledgered commits.
-                            Ctrl-C stops it gracefully (open
-                            transactions roll back).
-* ``chaos --seed N [--quick] [--cycles N] [--clients N] [--no-proxy]``
+                            --shard-index/--shard-count (with --schema
+                            chaos) serve one shard's slice of the chaos
+                            schema — no local FK, enforcement belongs to
+                            the coordinator.  Ctrl-C stops it gracefully
+                            (open transactions roll back).
+* ``coordinate --shards H:P,H:P,... [--host H] [--port P] [--data-dir D]
+               [--cascade-grace S]``
+                          — start the shard coordinator/router
+                            (repro.sharding): hash-partitions the chaos
+                            schema over the given shard servers,
+                            enforces the foreign key across shards with
+                            snapshot witness probes and presumed-abort
+                            two-phase commit, and logs commit decisions
+                            durably under --data-dir so acked
+                            cross-shard commits survive kill -9.
+* ``chaos --seed N [--quick] [--cycles N] [--clients N] [--no-proxy]
+          [--shards N]``
                           — the fault-tolerance soak
                             (repro.testing.chaos): seeded multi-client
                             FK workload while a supervisor kill -9s and
@@ -46,7 +61,12 @@ Commands:
                             faults injected by a TCP proxy.  Asserts no
                             acked commit lost, none applied twice, and
                             verify_integrity clean after every recovery.
-                            Exits non-zero on any violation.
+                            --shards N runs the storm against N shard
+                            processes behind a coordinator, additionally
+                            asserting no cross-shard orphan and no
+                            transaction stuck in-doubt after a cold
+                            cluster restart.  Exits non-zero on any
+                            violation.
 """
 
 from __future__ import annotations
@@ -199,6 +219,9 @@ def _run_serve(argv: list[str]) -> int:
     host, port, schema = "127.0.0.1", 7654, None
     data_dir: str | None = None
     checkpoint_every: int | None = None
+    shard_index: int | None = None
+    shard_count: int | None = None
+    lock_timeout: float | None = None
     it = iter(argv)
     for arg in it:
         if arg == "--host":
@@ -213,13 +236,27 @@ def _run_serve(argv: list[str]) -> int:
             data_dir = next(it, None)
         elif arg == "--checkpoint-every":
             checkpoint_every = int(next(it, "256"))
+        elif arg == "--shard-index":
+            shard_index = int(next(it, "0"))
+        elif arg == "--shard-count":
+            shard_count = int(next(it, "1"))
+        elif arg == "--lock-timeout":
+            lock_timeout = float(next(it, "2.0"))
         else:
             print(f"unknown serve option {arg!r}", file=sys.stderr)
             return 1
+    if (shard_index is None) != (shard_count is None):
+        print("--shard-index and --shard-count go together", file=sys.stderr)
+        return 1
 
     # The catalog bootstrap must be deterministic when serving durably:
     # recovery replays heap contents over the schema built here.
-    if schema == "chaos":
+    if schema == "chaos" and shard_index is not None:
+        from .testing.chaos import build_chaos_shard_database
+
+        assert shard_count is not None
+        db = build_chaos_shard_database(shard_index, shard_count)
+    elif schema == "chaos":
         from .testing.chaos import build_chaos_database
 
         db = build_chaos_database()
@@ -241,12 +278,16 @@ def _run_serve(argv: list[str]) -> int:
         elif schema is not None:
             print(f"unknown schema {schema!r} (demo, chaos)", file=sys.stderr)
             return 1
+    extra: dict = {}
+    if lock_timeout is not None:
+        extra["lock_timeout"] = lock_timeout
     server = ReproServer(
         db,
         host=host,
         port=port,
         data_dir=data_dir,
         checkpoint_every=checkpoint_every,
+        **extra,
     )
     server.start()
     print(f"repro server listening on {server.host}:{server.port}"
@@ -265,6 +306,68 @@ def _run_serve(argv: list[str]) -> int:
         print("\nshutting down...")
         rolled_back = server.shutdown()
         print(f"done; {rolled_back} open transaction(s) rolled back")
+    return 0
+
+
+def _run_coordinate(argv: list[str]) -> int:
+    import time
+
+    from .sharding import ShardCoordinator, build_chaos_catalog
+
+    host, port = "127.0.0.1", 7655
+    data_dir: str | None = None
+    cascade_grace: float | None = None
+    shard_addrs: list[tuple[str, int]] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--host":
+            host = next(it, host)
+        elif arg == "--port":
+            port = int(next(it, str(port)))
+        elif arg == "--data-dir":
+            data_dir = next(it, None)
+        elif arg == "--cascade-grace":
+            cascade_grace = float(next(it, "2.0"))
+        elif arg == "--shards":
+            for spec in (next(it, "") or "").split(","):
+                shard_host, __, shard_port = spec.strip().rpartition(":")
+                if not shard_host or not shard_port.isdigit():
+                    print(f"bad shard address {spec!r} (want host:port)",
+                          file=sys.stderr)
+                    return 1
+                shard_addrs.append((shard_host, int(shard_port)))
+        else:
+            print(f"unknown coordinate option {arg!r}", file=sys.stderr)
+            return 1
+    if not shard_addrs:
+        print("coordinate needs --shards host:port[,host:port...]",
+              file=sys.stderr)
+        return 1
+
+    extra: dict = {}
+    if cascade_grace is not None:
+        extra["cascade_grace"] = cascade_grace
+    coordinator = ShardCoordinator(
+        build_chaos_catalog(len(shard_addrs)),
+        shard_addrs,
+        host=host,
+        port=port,
+        data_dir=data_dir,
+        **extra,
+    )
+    coordinator.start()
+    print(f"repro coordinator listening on {coordinator.host}:"
+          f"{coordinator.port} over {len(shard_addrs)} shard(s)", flush=True)
+    if coordinator.decisions.resumed:
+        print(f"resumed decision log: {len(coordinator.decisions)} "
+              "commit decision(s)", flush=True)
+    print("Ctrl-C to stop.", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+        coordinator.shutdown()
     return 0
 
 
@@ -296,6 +399,8 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(rest)
     if command == "serve":
         return _run_serve(rest)
+    if command == "coordinate":
+        return _run_coordinate(rest)
     if command == "chaos":
         from .testing.chaos import main as chaos_main
 

@@ -51,6 +51,14 @@ The rules:
     and a single read lock reintroduces the reader-writer convoy the
     version store exists to remove.  The runtime twin of this rule is
     :func:`repro.analysis.lockdep.snapshot_read_scope`.
+``RPR009`` decision-before-ack — in ``repro.sharding`` any function that
+    acknowledges a cross-shard commit to the client (``ack_committed``)
+    or pushes a commit decision to a participant (``send_commit_decide``)
+    must also write or consult the durable decision log
+    (``record_decision`` / ``logged_decision``) in the same function:
+    under presumed abort, a commit acked without a fsynced decision
+    record is silently rolled back by recovery after a coordinator
+    crash — an acked-commit loss the chaos judge exists to catch.
 """
 
 from __future__ import annotations
@@ -345,7 +353,7 @@ def _check_set_solo(
 
 _SOCKET_CALLS = {"recv", "send", "sendall", "accept"}
 
-_SOCKET_GUARDED = ("repro.server",)
+_SOCKET_GUARDED = ("repro.server", "repro.sharding")
 
 
 def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
@@ -392,6 +400,56 @@ def _check_socket_guards(
                     "fire('wire.*') crossing or a settimeout() so fault "
                     "injection sees it and a stalled peer cannot pin "
                     "the thread",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR009 — durable decision record dominates the cross-shard commit ack
+
+#: Calls that externalise a cross-shard commit (to the client or to a
+#: participant).  Once one of these runs, presumed abort makes the
+#: decision log the only thing standing between a crash and a lost ack.
+_DECISION_ACKS = {"ack_committed", "send_commit_decide"}
+
+#: Calls that write or consult the durable decision log.
+_DECISION_GUARDS = {"record_decision", "logged_decision"}
+
+_DECISION_SCOPED = ("repro.sharding",)
+
+
+def _check_decision_before_ack(
+    module: ModuleName, tree: ast.Module
+) -> Iterator[tuple[int, str]]:
+    if not _in(module, _DECISION_SCOPED):
+        return
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if func.name in _DECISION_ACKS:
+            continue  # the primitives themselves, not their callers
+        guarded = False
+        acks: list[tuple[int, str]] = []
+        for node in _own_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = (
+                callee.id if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute)
+                else None
+            )
+            if name in _DECISION_GUARDS:
+                guarded = True
+            elif name in _DECISION_ACKS:
+                acks.append((node.lineno, name))
+        if not guarded:
+            for line, name in sorted(acks):
+                yield (
+                    line,
+                    f"{name}() without record_decision()/logged_decision() "
+                    "in the same function; under presumed abort an acked "
+                    "commit with no durable decision record is rolled back "
+                    "by recovery after a coordinator crash",
                 )
 
 
@@ -463,6 +521,8 @@ RULES: tuple[Rule, ...] = (
          _check_socket_guards),
     Rule("RPR008", "snapshot-read paths never take S/IS locks",
          _check_snapshot_lock_free),
+    Rule("RPR009", "cross-shard commit acks dominated by decision record",
+         _check_decision_before_ack),
 )
 
 

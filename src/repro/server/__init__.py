@@ -13,13 +13,20 @@ Quickstart::
 Or from the command line: ``python -m repro serve --port 7654``.
 """
 
-from .client import DeliveryUnknown, ReproClient, ServerError, TransactionTorn
+from .client import (
+    DeliveryUnknown,
+    ReproClient,
+    ServerError,
+    TransactionTorn,
+    decorrelated_backoff,
+)
 from .ledger import LedgerError, ResultLedger
 from .server import Overloaded, ReproServer
 from .wire import WireError
 
 __all__ = [
     "DeliveryUnknown",
+    "decorrelated_backoff",
     "LedgerError",
     "Overloaded",
     "ReproClient",

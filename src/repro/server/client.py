@@ -34,13 +34,44 @@ import re
 import socket
 import time
 import uuid
-from collections.abc import Callable, Sequence
+import zlib
+from collections.abc import Callable, Iterator, Sequence
 from typing import Any, TypeVar
 
 from ..errors import ReproError
 from . import wire
 
 T = TypeVar("T")
+
+
+def _uniform_stream(seed: int) -> Iterator[float]:
+    """Seeded uniform(0, 1) stream via xorshift64* — the ``random``
+    module is banned in engine code (lint rule RPR003), but retry
+    jitter must still be reproducible under a test-provided seed."""
+    state = (seed ^ 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF or 1
+    while True:
+        state ^= state >> 12
+        state ^= (state << 25) & 0xFFFFFFFFFFFFFFFF
+        state ^= state >> 27
+        yield ((state * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF) / 2.0**64
+
+
+def decorrelated_backoff(
+    seed: int, base: float, cap: float
+) -> Iterator[float]:
+    """Decorrelated-jitter delays: ``next = min(cap, base + u * (prev*3
+    - base))`` with ``u`` uniform in [0, 1).
+
+    Unlike plain capped doubling, N clients bounced by the same
+    overloaded server do not return in lockstep — each client's schedule
+    spreads over ``[base, cap]`` and decorrelates further every step.
+    Every delay is within ``[base, cap]``.
+    """
+    uniforms = _uniform_stream(seed)
+    delay = base
+    while True:
+        delay = min(cap, base + next(uniforms) * max(0.0, delay * 3.0 - base))
+        yield delay
 
 #: Ops the server ledgers: stamped with (client, req) automatically.
 _STAMPED_OPS = frozenset({"insert", "delete", "update", "execute", "commit"})
@@ -288,29 +319,39 @@ class ReproClient:
         base_delay: float = 0.005,
         max_delay: float = 0.25,
         sleep: Callable[[float], None] = time.sleep,
+        jitter_seed: int | None = None,
     ) -> T:
-        """Run *fn*, retrying retryable server errors with capped backoff.
+        """Run *fn*, retrying retryable server errors with decorrelated
+        jitter (:func:`decorrelated_backoff`).
 
         An error response proves nothing committed, so each retry runs
-        under a fresh request id (``fn`` re-stamps).  The server's
-        ``retry_after`` hint, when present, overrides the local backoff
-        schedule.  :class:`DeliveryUnknown` is deliberately *not*
-        retried here — its outcome is undecided, not failed.
+        under a fresh request id (``fn`` re-stamps).  Jitter matters
+        here precisely because many clients fail *together* — an
+        ``Overloaded`` rejection storm retried in lockstep re-creates
+        the storm; decorrelated schedules drain it.  The server's
+        ``retry_after`` hint, when present, is honoured as a **floor**
+        under the jittered delay, never shortened.  The jitter stream is
+        seeded from the client id and request counter (reproducible
+        runs); tests pin it with *jitter_seed*.  :class:`DeliveryUnknown`
+        is deliberately *not* retried here — its outcome is undecided,
+        not failed.
         """
-        delay = base_delay
+        if jitter_seed is None:
+            jitter_seed = (
+                zlib.crc32(self.client_id.encode("utf-8"))
+                ^ (self._request_id << 16)
+            )
+        delays = decorrelated_backoff(jitter_seed, base_delay, max_delay)
         for attempt in range(attempts):
             try:
                 return fn()
             except ServerError as exc:
                 if not exc.retryable or attempt == attempts - 1:
                     raise
-                wait = (
-                    exc.retry_after
-                    if exc.retry_after is not None
-                    else min(delay, max_delay)
-                )
+                wait = next(delays)
+                if exc.retry_after is not None:
+                    wait = max(exc.retry_after, wait)
                 sleep(wait)
-                delay *= 2
         raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------

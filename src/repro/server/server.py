@@ -64,7 +64,7 @@ from ..storage.database import Database
 from ..storage.wal import open_durable
 from ..testing.faults import fire
 from . import wire
-from .ledger import LedgerEntry, ResultLedger
+from .ledger import LedgerEntry, LedgerError, ResultLedger
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..concurrency.session import Session
@@ -88,7 +88,9 @@ _RETRYABLE = (DeadlockError, LockTimeoutError, SerializationError, TransientFaul
 #: Ops that may commit under an idempotency key.  ``begin`` is absent on
 #: purpose: retrying it on a fresh connection is inherently safe (the
 #: torn connection's transaction was rolled back at disconnect).
-_LEDGERED_OPS = frozenset({"insert", "delete", "update", "execute", "commit"})
+#: ``txn`` is the shard coordinator's one-phase batch: it autocommits,
+#: so a redelivered batch must replay rather than re-execute.
+_LEDGERED_OPS = frozenset({"insert", "delete", "update", "execute", "commit", "txn"})
 
 
 class Overloaded(ReproError):
@@ -148,6 +150,8 @@ class ReproServer:
         data_dir: str | None = None,
         checkpoint_every: int | None = None,
         ledger_capacity: int = 1024,
+        resolve_after: float | None = None,
+        presume_abort_after: float | None = None,
     ) -> None:
         self.db = db if db is not None else Database("served")
         if self.db.session_manager is None:
@@ -182,11 +186,24 @@ class ReproServer:
             checkpoint_every = DEFAULT_CHECKPOINT_EVERY if data_dir else 0
         self.checkpoint_every = checkpoint_every
         self._commits_since_checkpoint = 0
+        # 2PC participant (lazy import: sharding imports this module).
+        from ..sharding.twophase import TwoPhaseParticipant
+
+        twophase_opts = {}
+        if resolve_after is not None:
+            twophase_opts["resolve_after"] = resolve_after
+        if presume_abort_after is not None:
+            twophase_opts["presume_abort_after"] = presume_abort_after
+        self.twophase = TwoPhaseParticipant(self, **twophase_opts)
         if data_dir is not None:
             wal, self.recovery_report = open_durable(self.db, data_dir)
             self.ledger.restore(
                 wal.checkpoint_extras.get("ledger"), wal.durable_records
             )
+            # Reinstate in-doubt 2PC transactions before serving: their
+            # re-acquired locks must be in place when the first client
+            # statement arrives.
+            self.twophase.reinstate()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -224,6 +241,7 @@ class ReproServer:
         if not self._started:
             return 0
         before = self.stats.rolled_back_on_shutdown
+        self.twophase.stop()
         self._stopping.set()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout)
@@ -606,7 +624,72 @@ class ReproServer:
                 "entries": len(self.ledger),
                 "evictions": self.ledger.evictions,
             },
+            "twophase": self.twophase.stats_snapshot(),
         }
+
+    # ------------------------------------------------------------------
+    # Sharding ops (coordinator-facing; see repro.sharding)
+
+    def _op_txn(self, session, sql_session, request, entry) -> dict[str, Any]:
+        """One-phase shard batch: the coordinator's co-located ops run
+        as a single autocommit transaction under the client's stamp."""
+        from ..sharding.twophase import apply_shard_op
+
+        ops = request.get("ops")
+        if not isinstance(ops, list) or not ops:
+            raise ReproError("txn needs a non-empty 'ops' list")
+
+        def work() -> dict[str, Any]:
+            results = [apply_shard_op(self, session, op) for op in ops]
+            return self._fill(entry, {"ok": True, "results": results})
+
+        return self._admitted(lambda: session.execute(work))
+
+    def _op_prepare(self, session, sql_session, request, entry) -> dict[str, Any]:
+        gtid = request.get("gtid")
+        if not isinstance(gtid, str):
+            raise ReproError("prepare needs a 'gtid' string")
+        ops = request.get("ops") or []
+        seq = int(request.get("seq") or 0)
+        resolve = request.get("resolve")
+        resolve_addr = (resolve[0], int(resolve[1])) if resolve else None
+        results = self._admitted(
+            lambda: self.twophase.prepare(
+                gtid, ops, seq=seq, resolve_addr=resolve_addr
+            )
+        )
+        # The vote is out: from here on an unreachable coordinator must
+        # be survivable, so the resolver watches the in-doubt window.
+        self.twophase.ensure_resolver()
+        return {"ok": True, "vote": "prepared", "results": results}
+
+    def _op_decide(self, session, sql_session, request, entry) -> dict[str, Any]:
+        # No admission gate: a decide releases locks others wait on;
+        # queueing it behind the very statements it would unblock
+        # inverts the dependency.
+        gtid = request.get("gtid")
+        verdict = request.get("verdict")
+        if not isinstance(gtid, str) or not isinstance(verdict, str):
+            raise ReproError("decide needs 'gtid' and 'verdict' strings")
+        return {"ok": True, "state": self.twophase.decide(gtid, verdict)}
+
+    def _op_ledger_peek(self, session, sql_session, request, entry) -> dict[str, Any]:
+        """Read-only ledger probe: lets a restarted coordinator ask
+        whether a client stamp already committed here, without the
+        side effects of redelivering the op itself."""
+        client, req = request.get("peek_client"), request.get("peek_req")
+        if not isinstance(client, str) or not isinstance(req, int):
+            raise ReproError("ledger_peek needs 'peek_client' and 'peek_req'")
+        try:
+            cached = self.ledger.replay(client, req)
+        except LedgerError:
+            # The stamp is behind this client's high-water mark: the
+            # original ack exists but was evicted.  Report a miss with
+            # the superseded flag so the caller can distinguish.
+            return {"ok": True, "hit": False, "superseded": True}
+        if cached is None:
+            return {"ok": True, "hit": False}
+        return {"ok": True, "hit": True, "result": cached}
 
 
 def _predicate_from(equals: dict[str, Any] | None) -> Predicate | None:

@@ -1,0 +1,41 @@
+"""Sharded serving: FK-prefix partitioning, remote witness probes and
+presumed-abort two-phase commit (DESIGN.md §5i).
+
+:mod:`~repro.sharding.catalog` maps tables to shards, co-locating fully
+referencing child rows with their witness parents; only MATCH PARTIAL
+rows with NULL FK components ever need the cross-shard path.
+:mod:`~repro.sharding.twophase` is the participant living inside each
+:class:`~repro.server.server.ReproServer`; :mod:`~repro.sharding.coordinator`
+is the router/commit point clients connect to.
+"""
+
+from .catalog import (
+    CatalogError,
+    FkRoute,
+    ShardCatalog,
+    TableRoute,
+    build_chaos_catalog,
+    stable_hash,
+)
+from .coordinator import DecisionLog, ShardCoordinator
+from .twophase import (
+    TwoPhaseError,
+    TwoPhaseMarker,
+    TwoPhaseParticipant,
+    apply_shard_op,
+)
+
+__all__ = [
+    "CatalogError",
+    "DecisionLog",
+    "FkRoute",
+    "ShardCatalog",
+    "ShardCoordinator",
+    "TableRoute",
+    "TwoPhaseError",
+    "TwoPhaseMarker",
+    "TwoPhaseParticipant",
+    "apply_shard_op",
+    "build_chaos_catalog",
+    "stable_hash",
+]

@@ -66,6 +66,14 @@ if TYPE_CHECKING:  # pragma: no cover
 ROW_KINDS = frozenset({"insert", "delete", "update"})
 #: Catalog record kinds.
 DDL_KINDS = frozenset({"create_table", "drop_table", "create_index", "drop_index"})
+#: Two-phase-commit coordination kinds (DESIGN.md §5i).  ``prepare``
+#: carries ``(gtid, seq, ops, resolve_addr)``, ``decide`` carries
+#: ``(gtid, verdict)``.  Redo replay ignores them — they are protocol
+#: state interpreted by the 2PC participant
+#: (:class:`repro.sharding.twophase.TwoPhaseParticipant`), which scans
+#: the durable log for them at restart to reinstate in-doubt
+#: transactions.
+TWO_PHASE_KINDS = frozenset({"prepare", "decide"})
 
 
 @dataclass(frozen=True)
@@ -279,6 +287,20 @@ class WriteAheadLog:
         self.log_mutation(txn_id, entry)
         self.commit(txn_id)
 
+    def log_two_phase(self, kind: str, payload: tuple) -> None:
+        """Durably append one 2PC coordination record *now*.
+
+        The record rides its own committed mini-transaction and the
+        commit forces a flush, so by the time this returns the record
+        has reached the segment store — the participant may only vote
+        "prepared" (or apply a decision) *after* this returns.
+        """
+        if kind not in TWO_PHASE_KINDS:
+            raise WalError(f"unknown two-phase record kind {kind!r}")
+        txn_id = self.begin()
+        self._append(txn_id, kind, None, payload)
+        self.commit(txn_id)
+
     # ------------------------------------------------------------------
     # Commit / abort / flush
 
@@ -451,6 +473,10 @@ def recover(db: "Database", wal: WriteAheadLog | None = None) -> RecoveryReport:
         # 2. Redo committed work in log order.
         for record in durable:
             if record.txn_id not in committed or record.kind == "commit":
+                continue
+            if record.kind in TWO_PHASE_KINDS:
+                # Coordination state, not redo: the 2PC participant
+                # interprets prepare/decide records after recovery.
                 continue
             report.records_replayed += 1
             table_name = record.table

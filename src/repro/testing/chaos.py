@@ -26,6 +26,15 @@ The served schema (``serve --schema chaos``) is a parent/child pair
 under MATCH PARTIAL with ON DELETE SET NULL over a Bounded structure —
 the paper's enforcement hot path, so every recovered commit re-checks
 the partial-RI machinery end to end.
+
+``--shards N`` runs the same storm against a sharded deployment: N
+``serve`` shard processes hash-partitioned on the FK prefix behind one
+``coordinate`` router enforcing the foreign key across shards with
+presumed-abort two-phase commit.  The kill schedule now picks a victim
+per cycle — any shard *or the coordinator* — and the final judgement
+adds two sharded verdicts: a deep cross-shard orphan scan (no child
+references a parent no shard holds) and a two-phase drain (no
+transaction left in-doubt once every process is back up).
 """
 
 from __future__ import annotations
@@ -93,6 +102,49 @@ def build_chaos_database():
     return db
 
 
+def build_chaos_shard_database(shard_index: int, shard_count: int):
+    """One shard's slice of the chaos schema.
+
+    Same tables as :func:`build_chaos_database` but *no local foreign
+    key* — under sharding the child's witness may live on another
+    process, so enforcement belongs to the coordinator's probe/pin
+    protocol, not to any single shard's enforcement machinery.  Parent
+    seed rows are filtered to the shard that owns them under the chaos
+    catalog, so the union across shards is exactly the single-node grid.
+
+    Unlike the single-node schema, ``C`` carries a primary key on
+    ``id``.  It is load-bearing for isolation, not just hygiene: an
+    in-flight 2PC insert must hold X on *some* key resource of its new
+    row, or a concurrent cascade's SET-NULL pattern update can scan the
+    heap and dirty-write the uncommitted row (single-node never hits
+    this because the witness S-pin and the parent delete collide in one
+    lock space; across shards the home insert is prepared before its
+    remote pin exists).
+    """
+    from ..constraints import PrimaryKey
+    from ..sharding import build_chaos_catalog
+    from ..storage.database import Database
+    from ..storage.schema import Column, DataType
+
+    catalog = build_chaos_catalog(shard_count)
+    db = Database(f"chaos-shard-{shard_index}")
+    db.create_table("P", [
+        Column("k1", DataType.INTEGER, nullable=False),
+        Column("k2", DataType.INTEGER, nullable=False),
+    ])
+    db.add_candidate_key(PrimaryKey("P", ("k1", "k2")))
+    db.create_table("C", [
+        Column("id", DataType.INTEGER, nullable=False),
+        Column("k1", DataType.INTEGER),
+        Column("k2", DataType.INTEGER),
+    ])
+    db.add_candidate_key(PrimaryKey("C", ("id",)))
+    for i in range(N_PARENTS):
+        if catalog.shard_for("P", {"k1": i, "k2": i * 10}) == shard_index:
+            db.insert("P", (i, i * 10))
+    return db
+
+
 # ----------------------------------------------------------------------
 # Report
 
@@ -115,6 +167,11 @@ class ChaosReport:
     resurrected: list[int] = field(default_factory=list)
     duplicated: list[int] = field(default_factory=list)
     proxy_faults: dict[str, int] = field(default_factory=dict)
+    #: Sharded-mode verdicts (all zero in single-node runs).
+    shards: int = 0
+    orphans: int = 0
+    stuck_in_doubt: int = 0
+    kills_by_role: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -123,11 +180,14 @@ class ChaosReport:
             and not self.resurrected
             and not self.duplicated
             and self.recoveries_dirty == 0
+            and self.orphans == 0
+            and self.stuck_in_doubt == 0
         )
 
     def render(self) -> str:
+        topology = f", {self.shards} shards + coordinator" if self.shards else ""
         lines = [
-            f"chaos soak (seed {self.seed}): "
+            f"chaos soak (seed {self.seed}{topology}): "
             + ("PASS" if self.ok else "FAIL"),
             f"  kill -9 cycles: {self.kills}  "
             f"(recoveries verified clean: {self.recoveries_verified}, "
@@ -137,6 +197,16 @@ class ChaosReport:
             f"transactions torn: {self.txns_torn}",
             f"  client reconnects: {self.client_reconnects}",
         ]
+        if self.kills_by_role:
+            by_role = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.kills_by_role.items())
+            )
+            lines.append(f"  kills by victim: {by_role}")
+        if self.shards:
+            lines.append(
+                f"  cross-shard orphans: {self.orphans}  "
+                f"transactions stuck in-doubt: {self.stuck_in_doubt}"
+            )
         if self.proxy_faults:
             injected = ", ".join(
                 f"{k}={v}" for k, v in sorted(self.proxy_faults.items())
@@ -160,14 +230,27 @@ class ChaosReport:
 
 
 class ServerSupervisor:
-    """Runs ``python -m repro serve`` as a child and kill -9s it on cue."""
+    """Runs a ``python -m repro`` child process and kill -9s it on cue.
 
-    def __init__(self, data_dir: Path, port: int, checkpoint_every: int) -> None:
+    Defaults to the single-node ``serve --schema chaos`` command; the
+    sharded soak passes explicit *argv* tails (shard ``serve`` commands
+    and the ``coordinate`` router) through the same restart machinery.
+    """
+
+    def __init__(
+        self,
+        data_dir: Path,
+        port: int,
+        checkpoint_every: int,
+        argv: list[str] | None = None,
+        log_name: str = "server.log",
+    ) -> None:
         self.data_dir = data_dir
         self.port = port
         self.checkpoint_every = checkpoint_every
+        self.argv = argv
         self.proc: subprocess.Popen | None = None
-        self._log = open(data_dir / "server.log", "ab")
+        self._log = open(data_dir / log_name, "ab")
 
     def start(self, timeout: float = 20.0) -> None:
         env = dict(os.environ)
@@ -175,14 +258,15 @@ class ServerSupervisor:
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in (src_root, env.get("PYTHONPATH")) if p
         )
+        argv = self.argv if self.argv is not None else [
+            "serve",
+            "--port", str(self.port),
+            "--schema", "chaos",
+            "--data-dir", str(self.data_dir),
+            "--checkpoint-every", str(self.checkpoint_every),
+        ]
         self.proc = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "serve",
-                "--port", str(self.port),
-                "--schema", "chaos",
-                "--data-dir", str(self.data_dir),
-                "--checkpoint-every", str(self.checkpoint_every),
-            ],
+            [sys.executable, "-m", "repro", *argv],
             stdout=self._log,
             stderr=subprocess.STDOUT,
             env=env,
@@ -403,10 +487,26 @@ def run_chaos(
     wire_faults: bool = True,
     quick: bool = False,
     snapshot_reads: bool = False,
+    shards: int = 0,
 ) -> ChaosReport:
     """Run the soak; returns the report (``report.ok`` is the verdict)."""
     import shutil
     import tempfile
+
+    if shards:
+        return run_sharded_chaos(
+            seed,
+            shards=shards,
+            cycles=cycles,
+            clients=clients,
+            data_dir=data_dir,
+            min_uptime_s=min_uptime_s,
+            max_uptime_s=max_uptime_s,
+            checkpoint_every=checkpoint_every,
+            wire_faults=wire_faults,
+            quick=quick,
+            snapshot_reads=snapshot_reads,
+        )
 
     if quick:
         cycles = min(cycles, 5)
@@ -517,6 +617,217 @@ def _judge(port: int, workers: list[_Worker], report: ChaosReport) -> None:
 
 
 # ----------------------------------------------------------------------
+# The sharded soak
+
+
+def run_sharded_chaos(
+    seed: int,
+    shards: int = 3,
+    cycles: int = 25,
+    clients: int = 4,
+    data_dir: str | os.PathLike[str] | None = None,
+    min_uptime_s: float = 0.4,
+    max_uptime_s: float = 1.0,
+    checkpoint_every: int = 64,
+    wire_faults: bool = True,
+    quick: bool = False,
+    snapshot_reads: bool = False,
+) -> ChaosReport:
+    """The chaos storm against N shard processes plus a coordinator.
+
+    Per cycle the seeded schedule kill -9s one victim — a shard or the
+    coordinator — and restarts it under load.  After the storm every
+    process is killed and restarted cold, the two-phase state is drained
+    (no in-doubt transaction, no queued decide, no in-flight gtid), a
+    deep cross-shard orphan scan runs, and the per-worker acked history
+    is judged against a scatter read through the coordinator.
+    """
+    import shutil
+    import tempfile
+
+    if quick:
+        cycles = min(cycles, 5)
+        clients = min(clients, 3)
+        min_uptime_s, max_uptime_s = 0.4, 0.8
+
+    rng = random.Random(seed)
+    report = ChaosReport(seed=seed, cycles=cycles, shards=shards)
+    owned_dir = data_dir is None
+    root = Path(tempfile.mkdtemp(prefix="repro-chaos-")) if owned_dir else Path(data_dir)
+    root.mkdir(parents=True, exist_ok=True)
+
+    shard_ports = [_free_port() for __ in range(shards)]
+    coord_port = _free_port()
+    supervisors: list[ServerSupervisor] = []
+    for index, port in enumerate(shard_ports):
+        shard_dir = root / f"shard{index}"
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        supervisors.append(ServerSupervisor(
+            shard_dir, port, checkpoint_every,
+            argv=[
+                "serve",
+                "--port", str(port),
+                "--schema", "chaos",
+                "--shard-index", str(index),
+                "--shard-count", str(shards),
+                "--data-dir", str(shard_dir),
+                "--checkpoint-every", str(checkpoint_every),
+                "--lock-timeout", "2.0",
+            ],
+        ))
+    coord_dir = root / "coordinator"
+    coord_dir.mkdir(parents=True, exist_ok=True)
+    coordinator = ServerSupervisor(
+        coord_dir, coord_port, checkpoint_every,
+        argv=[
+            "coordinate",
+            "--port", str(coord_port),
+            "--data-dir", str(coord_dir),
+            "--shards", ",".join(f"127.0.0.1:{port}" for port in shard_ports),
+        ],
+    )
+
+    def _kill(role: str) -> None:
+        report.kills += 1
+        report.kills_by_role[role] = report.kills_by_role.get(role, 0) + 1
+
+    proxy: FaultProxy | None = None
+    stop = threading.Event()
+    workers: list[_Worker] = []
+    try:
+        for supervisor in supervisors:
+            supervisor.start()
+        coordinator.start()
+        client_address = ("127.0.0.1", coord_port)
+        if wire_faults:
+            proxy = FaultProxy(
+                ("127.0.0.1", coord_port),
+                ChaosPolicy(
+                    seed,
+                    drop_rate=0.004,
+                    truncate_rate=0.004,
+                    delay_rate=0.02,
+                    garble_rate=0.002,
+                    max_delay_s=0.01,
+                ),
+            ).start()
+            client_address = proxy.address
+
+        workers = [
+            _Worker(w + 1, seed, client_address, stop, snapshot_reads)
+            for w in range(clients)
+        ]
+        for worker in workers:
+            worker.thread.start()
+
+        for cycle in range(cycles):
+            time.sleep(rng.uniform(min_uptime_s, max_uptime_s))
+            victim = rng.randrange(shards + 1)
+            if victim == shards:
+                coordinator.kill9()
+                _kill("coordinator")
+                if proxy is not None:
+                    proxy.kill_connections()
+                coordinator.start()
+            else:
+                supervisors[victim].kill9()
+                _kill(f"shard{victim}")
+                supervisors[victim].start()
+            _sharded_verify(coord_port, report)
+
+        stop.set()
+        for worker in workers:
+            worker.thread.join(30.0)
+
+        # Cold judgement: every process goes down, the recovered cluster
+        # must drain its two-phase state and come back referentially
+        # whole on its own.
+        coordinator.kill9()
+        _kill("coordinator")
+        for index, supervisor in enumerate(supervisors):
+            supervisor.kill9()
+            _kill(f"shard{index}")
+        for supervisor in supervisors:
+            supervisor.start()
+        coordinator.start()
+        report.stuck_in_doubt = _drain_two_phase(coord_port)
+        report.orphans = _sharded_verify(coord_port, report, deep=True)
+        _judge(coord_port, workers, report)
+    finally:
+        stop.set()
+        for worker in workers:
+            if worker.thread.is_alive():
+                worker.thread.join(5.0)
+        if proxy is not None:
+            report.proxy_faults = dict(proxy.faults)
+            proxy.stop()
+        coordinator.stop()
+        for supervisor in supervisors:
+            supervisor.stop()
+        if owned_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+    for worker in workers:
+        report.ops_acked += worker.acked
+        report.ops_rejected += worker.rejected
+        report.ops_unknown += worker.unknown_ops
+        report.txns_torn += worker.torn
+        report.client_reconnects += worker.reconnects
+    return report
+
+
+def _sharded_verify(
+    port: int, report: ChaosReport, deep: bool = False
+) -> int:
+    """Scatter ``verify`` through the coordinator; returns orphan count.
+
+    A shard mid-restart surfaces as a retryable ``TransientFault`` —
+    retried here rather than counted dirty, because reachability is the
+    supervisor's doing, not an integrity verdict.
+    """
+    with ReproClient("127.0.0.1", port, reconnect_attempts=40) as client:
+        verdict = client.retrying(
+            lambda: client.request("verify", deep=deep),
+            attempts=10, max_delay=0.5,
+        )
+    if verdict.get("clean"):
+        report.recoveries_verified += 1
+    else:
+        report.recoveries_dirty += 1
+    return len(verdict.get("orphans") or [])
+
+
+def _drain_two_phase(port: int, timeout_s: float = 60.0) -> int:
+    """Wait for the recovered cluster to resolve its two-phase state.
+
+    Returns 0 once no shard holds an in-doubt transaction, the
+    coordinator has no queued decide and no in-flight gtid; otherwise
+    the residue count at timeout — stuck in-doubt is a soak failure.
+    """
+    deadline = time.monotonic() + timeout_s
+    residue = 1
+    while time.monotonic() < deadline:
+        try:
+            with ReproClient("127.0.0.1", port, reconnect_attempts=40) as client:
+                stats = client.stats()
+        except (ServerError, DeliveryUnknown, WireError, OSError):
+            time.sleep(0.25)
+            continue
+        coordinator = stats.get("coordinator") or {}
+        residue = int(coordinator.get("in_flight") or 0)
+        residue += int(coordinator.get("pending_decides") or 0)
+        for shard in stats.get("shards") or []:
+            if "unreachable" in shard:
+                residue += 1
+                continue
+            residue += int((shard.get("twophase") or {}).get("in_doubt") or 0)
+        if residue == 0:
+            return 0
+        time.sleep(0.25)
+    return max(residue, 1)
+
+
+# ----------------------------------------------------------------------
 # CLI
 
 
@@ -527,6 +838,7 @@ def main(argv: list[str] | None = None) -> int:
     data_dir: str | None = None
     wire_faults = True
     snapshot_reads = False
+    shards = 0
     it = iter(argv)
     for arg in it:
         if arg == "--seed":
@@ -535,6 +847,8 @@ def main(argv: list[str] | None = None) -> int:
             cycles = int(next(it, "25"))
         elif arg == "--clients":
             clients = int(next(it, "4"))
+        elif arg == "--shards":
+            shards = int(next(it, "0"))
         elif arg == "--data-dir":
             data_dir = next(it, None)
         elif arg == "--no-proxy":
@@ -554,6 +868,7 @@ def main(argv: list[str] | None = None) -> int:
         wire_faults=wire_faults,
         quick=quick,
         snapshot_reads=snapshot_reads,
+        shards=shards,
     )
     print(report.render())
     return 0 if report.ok else 1

@@ -88,6 +88,15 @@ KNOWN_POINTS: tuple[str, ...] = (
     "wire.send",
     "wire.recv",
     "wire.accept",
+    # sharding/twophase.py — the distributed-commit hot path: on entry
+    # to PREPARE (before the witness locks and the durable prepare
+    # record), on entry to DECIDE (before the durable decision record
+    # and the data commit/rollback), and per in-doubt resolution probe
+    # against the coordinator's decision log.  A CrashInjector at any of
+    # them must land recovery on a 2PC state the resolver can finish.
+    "shard.prepare",
+    "shard.decide",
+    "shard.resolve",
 )
 
 

@@ -248,7 +248,12 @@ class _Relay:
                 pass
 
     def _pump(self, src: socket.socket, dst: socket.socket, direction: str) -> None:
-        src.settimeout(_POLL_S)
+        try:
+            src.settimeout(_POLL_S)
+        except OSError:
+            # kill() closed the socket before this thread got scheduled.
+            self.kill()
+            return
         try:
             while not self._dead.is_set() and not self.proxy._stopping.is_set():
                 try:

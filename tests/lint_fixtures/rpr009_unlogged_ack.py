@@ -1,0 +1,34 @@
+"""RPR009 fixture: a cross-shard commit acked without a durable
+decision record, next to the guarded shapes that must stay clean."""
+
+
+def commit_without_record(self, gtid, shards, base, result):
+    # BAD: externalises the commit with no record_decision() /
+    # logged_decision() in the same function — presumed abort rolls
+    # this back after a coordinator crash even though the client saw OK.
+    self.ack_committed(gtid, shards, base, result)
+
+
+def push_without_log(self, shard, gtid):
+    # BAD: pushes a commit decision to a participant without consulting
+    # the decision log first.
+    self.send_commit_decide(shard, gtid)
+
+
+def commit_with_record(self, gtid, shards, base, result):
+    # Guarded: the decision is durable before anyone hears about it.
+    self.decisions.record_decision(gtid, base, result)
+    self.ack_committed(gtid, shards, base, result)
+
+
+def push_with_log(self, shard, gtid):
+    # Guarded: the push re-checks the log, so a commit decide can never
+    # outrun its own durable record.
+    if self.decisions.logged_decision(gtid) is None:
+        raise RuntimeError("unlogged commit decide")
+    self.send_commit_decide(shard, gtid)
+
+
+def abort_path(self, shard, gtid):
+    # Aborts need no record under presumed abort — not flagged.
+    self.send_abort_decide(shard, gtid)

@@ -1,0 +1,139 @@
+"""Unit tests for the client's decorrelated-jitter retry schedule.
+
+All bounds are exercised with seeded streams — no wall-clock sleeps
+(the ``sleep`` callable is captured, never executed).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.server import ServerError, decorrelated_backoff
+from repro.server.client import ReproClient
+
+
+def _take(seed: int, n: int, base: float = 0.005, cap: float = 0.25):
+    return list(itertools.islice(decorrelated_backoff(seed, base, cap), n))
+
+
+# ----------------------------------------------------------------------
+# The generator itself.
+
+
+def test_every_delay_within_base_and_cap():
+    for seed in range(50):
+        for delay in _take(seed, 200):
+            assert 0.005 <= delay <= 0.25
+
+
+def test_seeded_stream_is_deterministic():
+    assert _take(1234, 32) == _take(1234, 32)
+
+
+def test_different_seeds_decorrelate():
+    a, b = _take(1, 32), _take(2, 32)
+    assert a != b
+    # Not just shifted copies either: schedules diverge immediately.
+    assert a[0] != b[0]
+
+
+def test_first_delay_jittered_not_fixed():
+    # Plain exponential backoff starts every client at exactly base;
+    # decorrelated jitter spreads even the first retry over [base, 2b].
+    firsts = {_take(seed, 1)[0] for seed in range(20)}
+    assert len(firsts) > 1
+
+
+def test_cap_respected_after_growth():
+    # With cap barely above base the 3x growth clips immediately.
+    delays = list(itertools.islice(decorrelated_backoff(7, 0.1, 0.12), 50))
+    assert max(delays) <= 0.12
+    assert min(delays) >= 0.1
+
+
+# ----------------------------------------------------------------------
+# ReproClient.retrying wiring (no real socket: a detached instance).
+
+
+def _client() -> ReproClient:
+    client = object.__new__(ReproClient)
+    client.client_id = "backoff-test"
+    client._request_id = 0
+    return client
+
+
+def _retryable(retry_after=None):
+    return ServerError(
+        "busy", "Overloaded", retryable=True, retry_after=retry_after
+    )
+
+
+def test_retrying_sleeps_are_jittered_and_bounded():
+    calls = []
+    slept = []
+
+    def fn():
+        calls.append(1)
+        if len(calls) < 4:
+            raise _retryable()
+        return "ok"
+
+    result = _client().retrying(
+        fn, base_delay=0.005, max_delay=0.25,
+        sleep=slept.append, jitter_seed=99,
+    )
+    assert result == "ok"
+    assert len(slept) == 3
+    assert all(0.005 <= s <= 0.25 for s in slept)
+    # Exactly the seeded schedule — reproducible runs.
+    assert slept == _take(99, 3)
+
+
+def test_retry_after_is_a_floor_never_a_ceiling():
+    slept = []
+
+    def fn():
+        if len(slept) < 2:
+            raise _retryable(retry_after=0.4)
+        return "ok"
+
+    _client().retrying(fn, sleep=slept.append, jitter_seed=5)
+    # retry_after=0.4 exceeds max_delay=0.25, so it dominates the jitter.
+    assert slept == [0.4, 0.4]
+
+
+def test_retry_after_below_jitter_does_not_shorten_wait():
+    slept = []
+
+    def fn():
+        if not slept:
+            raise _retryable(retry_after=1e-9)
+        return "ok"
+
+    _client().retrying(fn, sleep=slept.append, jitter_seed=5)
+    assert slept[0] >= 0.005  # jittered wait wins over a tiny hint
+
+
+def test_non_retryable_error_raises_immediately():
+    slept = []
+
+    def fn():
+        raise ServerError("no", "ReferentialIntegrityViolation",
+                          retryable=False)
+
+    with pytest.raises(ServerError):
+        _client().retrying(fn, sleep=slept.append, jitter_seed=1)
+    assert slept == []
+
+
+def test_attempts_exhausted_reraises_last_error():
+    slept = []
+
+    def fn():
+        raise _retryable()
+
+    with pytest.raises(ServerError):
+        _client().retrying(fn, attempts=3, sleep=slept.append, jitter_seed=1)
+    assert len(slept) == 2  # no sleep after the final attempt

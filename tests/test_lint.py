@@ -127,6 +127,23 @@ def test_rpr008_snapshot_path_read_lock():
     assert violations[0].line < 14
 
 
+def test_rpr009_unlogged_commit_ack():
+    violations = _lint_fixture(
+        "rpr009_unlogged_ack.py", module="repro.sharding.fixture"
+    )
+    assert [v.code for v in violations] == ["RPR009"] * 2
+    assert "ack_committed" in violations[0].message
+    assert "send_commit_decide" in violations[1].message
+    # The guarded twins and the abort path below stay clean.
+    assert all(v.line < 17 for v in violations)
+
+
+def test_rpr009_only_applies_to_sharding_modules():
+    source = (FIXTURES / "rpr009_unlogged_ack.py").read_text()
+    assert lint.lint_source(source, "repro.server.coordinator") == []
+    assert lint.lint_source(source, "repro.query.dml") == []
+
+
 def test_rpr008_versions_module_covered_entirely():
     # Inside repro.storage.versions every function is a snapshot path,
     # whatever its name — locked_read_rows gets flagged there too.
@@ -146,9 +163,15 @@ def test_engine_tree_is_lint_clean():
 def test_fixture_directory_trips_every_rule():
     codes = set()
     for path in sorted(FIXTURES.glob("*.py")):
-        # The socket-guard rule is scoped to the serving layer, so its
-        # fixture lints under a repro.server module name.
-        package = "server" if path.stem.startswith("rpr007") else "query"
+        # The socket-guard and decision-log rules are scoped to the
+        # serving/sharding layers, so their fixtures lint under the
+        # matching module names.
+        if path.stem.startswith("rpr007"):
+            package = "server"
+        elif path.stem.startswith("rpr009"):
+            package = "sharding"
+        else:
+            package = "query"
         for violation in lint.lint_source(
             path.read_text(), f"repro.{package}.{path.stem}", str(path)
         ):

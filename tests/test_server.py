@@ -482,10 +482,12 @@ def test_retrying_honours_the_servers_retry_after_hint():
                 return "landed"
 
             result = client.retrying(
-                flaky, attempts=5, base_delay=9.0, sleep=sleeps.append
+                flaky, attempts=5, base_delay=1e-4, max_delay=1e-3,
+                sleep=sleeps.append,
             )
             assert result == "landed"
-            # The hint overrode the (deliberately huge) local schedule.
+            # The hint floors the (deliberately tiny) jittered schedule:
+            # the server said "not before 123ms", so no sleep is shorter.
             assert sleeps == [0.123, 0.123]
 
 

@@ -1,0 +1,302 @@
+"""Tests for the sharded serving layer (``repro.sharding``).
+
+Covers the routing catalog, end-to-end cross-shard FK enforcement
+through a real coordinator over real shard servers, exactly-once
+semantics across the coordinator hop, and the two-phase in-doubt
+window: a participant that loses its coordinator between PREPARE and
+the decision must block conflicting writers, resolve through the
+decision log once the coordinator is back, and presume abort when it
+never comes back.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.server import ReproClient, ReproServer, ServerError
+from repro.sharding import (
+    CatalogError,
+    ShardCoordinator,
+    build_chaos_catalog,
+    stable_hash,
+)
+from repro.testing.chaos import N_PARENTS, build_chaos_shard_database
+
+
+def _free_port() -> int:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _await(predicate, timeout_s: float = 10.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+# ----------------------------------------------------------------------
+# Catalog
+
+
+def test_stable_hash_is_deterministic_and_null_safe():
+    assert stable_hash([1, 10]) == stable_hash([1, 10])
+    assert stable_hash([1, None]) == stable_hash([1, None])
+    assert stable_hash([1, 10]) != stable_hash([10, 1])
+    assert stable_hash([1, None]) != stable_hash([None, 1])
+
+
+def test_child_colocates_with_fully_referencing_parent():
+    catalog = build_chaos_catalog(4)
+    for k1 in range(N_PARENTS):
+        parent = {"k1": k1, "k2": k1 * 10}
+        child = {"id": 7, "k1": k1, "k2": k1 * 10}
+        assert catalog.shard_for("P", parent) == catalog.shard_for("C", child)
+
+
+def test_rows_spread_over_shards():
+    catalog = build_chaos_catalog(3)
+    owners = {
+        catalog.shard_for("P", {"k1": k, "k2": k * 10})
+        for k in range(N_PARENTS)
+    }
+    assert owners == {0, 1, 2}
+
+
+def test_catalog_rejects_unknown_table():
+    catalog = build_chaos_catalog(2)
+    with pytest.raises(CatalogError):
+        catalog.route("nope")
+
+
+def test_fk_route_partial_null_witness_pattern():
+    catalog = build_chaos_catalog(2)
+    fk = catalog.route("C").fk
+    assert fk is not None
+    assert fk.parent_equals({"id": 1, "k1": 3, "k2": None}) == {"k1": 3}
+    assert fk.parent_equals({"id": 1, "k1": None, "k2": None}) == {}
+
+
+# ----------------------------------------------------------------------
+# End-to-end: coordinator over real shard servers
+
+
+@contextmanager
+def _cluster(tmp_path, shards: int = 2, **server_kwargs):
+    catalog = build_chaos_catalog(shards)
+    servers = []
+    for index in range(shards):
+        server = ReproServer(
+            build_chaos_shard_database(index, shards),
+            data_dir=str(tmp_path / f"s{index}"),
+            lock_timeout=2.0,
+            resolve_after=0.3,
+            **server_kwargs,
+        )
+        server.start()
+        servers.append(server)
+    coordinator = ShardCoordinator(
+        catalog, [server.address for server in servers],
+        data_dir=str(tmp_path / "coord"),
+    )
+    coordinator.start()
+    client = ReproClient("127.0.0.1", coordinator.port)
+    try:
+        yield client, coordinator, servers
+    finally:
+        client.close()
+        coordinator.shutdown()
+        for server in servers:
+            server.shutdown()
+
+
+def test_inserts_route_and_enforce_across_shards(tmp_path):
+    with _cluster(tmp_path) as (client, coordinator, servers):
+        assert client.insert("C", [1, 3, 30]) >= 0        # fully referencing
+        assert client.insert("C", [2, 5, None]) >= 0      # MATCH PARTIAL
+        assert client.insert("C", [3, None, None]) >= 0   # all-NULL FK
+        with pytest.raises(ServerError) as excinfo:
+            client.insert("C", [4, 99, 990])              # orphan
+        assert excinfo.value.error_type == "ReferentialIntegrityViolation"
+        assert not excinfo.value.retryable
+        ids = sorted(row[0] for row in client.select("C", columns=["id"]))
+        assert ids == [1, 2, 3]
+
+
+def test_partial_insert_vetoed_when_no_witness_anywhere(tmp_path):
+    with _cluster(tmp_path) as (client, coordinator, servers):
+        with pytest.raises(ServerError) as excinfo:
+            client.insert("C", [1, 99, None])  # no P has k1=99 on any shard
+        assert excinfo.value.error_type == "ReferentialIntegrityViolation"
+
+
+def test_cascade_set_null_reaches_other_shards(tmp_path):
+    with _cluster(tmp_path) as (client, coordinator, servers):
+        client.insert("C", [1, 5, 50])
+        client.insert("C", [2, 5, None])
+        assert client.delete("P", {"k1": 5, "k2": 50}) == 1
+        rows = {row[0]: row for row in client.select("C")}
+        # Full match nulled; and with no surviving parent for k1=5 the
+        # partial match is nulled too.
+        assert rows[1][1:] == [None, None]
+        assert rows[2][1:] == [None, None]
+        verdict = client.request("verify", deep=True)
+        assert verdict["clean"], verdict
+
+
+def test_partial_child_survives_cascade_with_surviving_witness(tmp_path):
+    with _cluster(tmp_path) as (client, coordinator, servers):
+        client.insert("P", [5, 999])          # second parent with k1=5
+        client.insert("C", [1, 5, None])
+        assert client.delete("P", {"k1": 5, "k2": 50}) == 1
+        rows = client.select("C", {"id": 1})
+        assert rows[0][1] == 5                # witness P(5, 999) survives
+        assert client.request("verify", deep=True)["clean"]
+
+
+def test_explicit_transaction_commits_across_shards(tmp_path):
+    with _cluster(tmp_path) as (client, coordinator, servers):
+        client.begin()
+        client.insert("C", [10, 3, 30])
+        client.insert("C", [11, 7, None])
+        client.commit()
+        ids = sorted(row[0] for row in client.select("C", columns=["id"]))
+        assert ids == [10, 11]
+
+
+def test_redelivered_insert_applies_once(tmp_path):
+    with _cluster(tmp_path) as (client, coordinator, servers):
+        first = client.request(
+            "insert", table="C", values=[900, 3, 30], client="dup", req=42
+        )
+        again = client.request(
+            "insert", table="C", values=[900, 3, 30], client="dup", req=42
+        )
+        assert first["ok"] and again["ok"]
+        assert len(client.select("C", {"id": 900})) == 1
+
+
+def test_stats_report_cluster_drained(tmp_path):
+    with _cluster(tmp_path) as (client, coordinator, servers):
+        client.insert("C", [1, 5, None])
+
+        def drained() -> bool:
+            # The commit ack races the async decide push; the cluster
+            # must converge to zero residue, not be there instantly.
+            stats = client.stats()
+            if stats["coordinator"]["in_flight"]:
+                return False
+            if stats["coordinator"]["pending_decides"]:
+                return False
+            return all(
+                shard["twophase"]["in_doubt"] == 0
+                for shard in stats["shards"]
+            )
+
+        _await(drained, what="two-phase drain")
+
+
+# ----------------------------------------------------------------------
+# The in-doubt window
+
+
+def _prepare_ops():
+    """A witness pin + child insert, the real 2PC participant batch."""
+    return [
+        {"op": "pin", "table": "P", "equals": {"k1": 3, "k2": 30},
+         "probed": True},
+        {"op": "insert", "table": "C", "values": [777, 3, 30]},
+    ]
+
+
+def test_in_doubt_blocks_writers_then_resolves_to_commit(tmp_path):
+    """Participant dies between PREPARE and the decision: after restart
+    it re-acquires the locks, stalls conflicting writers, resolves
+    through the coordinator's decision log, and releases."""
+    gtid = "cafe0001:1"
+    coord_port = _free_port()
+    data_dir = str(tmp_path / "shard")
+
+    server = ReproServer(
+        build_chaos_shard_database(0, 1), data_dir=data_dir,
+        lock_timeout=0.4, resolve_after=0.2,
+    )
+    server.start()
+    with ReproClient("127.0.0.1", server.port) as client:
+        response = client.request(
+            "prepare", gtid=gtid, seq=0, ops=_prepare_ops(),
+            resolve=["127.0.0.1", coord_port],
+        )
+        assert response["vote"] == "prepared"
+    server.shutdown()  # the decision never arrived
+
+    restarted = ReproServer(
+        build_chaos_shard_database(0, 1), data_dir=data_dir,
+        lock_timeout=0.4, resolve_after=0.2, presume_abort_after=120.0,
+    )
+    assert restarted.twophase.holds(gtid)
+    restarted.start()
+    try:
+        with ReproClient("127.0.0.1", restarted.port) as client:
+            # The witness pin's S-lock is held by the in-doubt txn: a
+            # conflicting parent delete must stall, not slip through.
+            with pytest.raises(ServerError) as excinfo:
+                client.delete("P", {"k1": 3, "k2": 30})
+            assert excinfo.value.retryable
+
+            # The coordinator reappears with the commit decision logged.
+            coordinator = ShardCoordinator(
+                build_chaos_catalog(1), [restarted.address],
+                port=coord_port, data_dir=str(tmp_path / "coord"),
+            )
+            coordinator.decisions.record_decision(gtid, ("t", 1), {"ok": True})
+            coordinator.start()
+            try:
+                _await(lambda: not restarted.twophase.holds(gtid),
+                       what="in-doubt resolution")
+                assert client.select("C", {"id": 777})  # committed
+                assert client.delete("P", {"k1": 3, "k2": 30}) == 1
+            finally:
+                coordinator.shutdown()
+        assert restarted.twophase.stats_snapshot()["commits"] == 1
+    finally:
+        restarted.shutdown()
+
+
+def test_presumed_abort_when_coordinator_never_returns(tmp_path):
+    """A prepared transaction whose coordinator stays dead past the
+    presume-abort deadline rolls back and releases its locks."""
+    gtid = "dead0001:1"
+    dead_port = _free_port()  # reserved but nobody listens
+
+    server = ReproServer(
+        build_chaos_shard_database(0, 1), data_dir=str(tmp_path / "shard"),
+        lock_timeout=0.4, resolve_after=0.1, presume_abort_after=0.8,
+    )
+    server.start()
+    try:
+        with ReproClient("127.0.0.1", server.port) as client:
+            client.request(
+                "prepare", gtid=gtid, seq=0, ops=_prepare_ops(),
+                resolve=["127.0.0.1", dead_port],
+            )
+            assert server.twophase.holds(gtid)
+            _await(lambda: not server.twophase.holds(gtid),
+                   what="presumed abort")
+            assert client.select("C", {"id": 777}) == []  # rolled back
+            assert client.delete("P", {"k1": 3, "k2": 30}) == 1  # unlocked
+        stats = server.twophase.stats_snapshot()
+        assert stats["presumed_aborts"] == 1
+        assert stats["aborts"] == 1
+    finally:
+        server.shutdown()
