@@ -59,6 +59,13 @@ The rules:
     under presumed abort, a commit acked without a fsynced decision
     record is silently rolled back by recovery after a coordinator
     crash — an acked-commit loss the chaos judge exists to catch.
+``RPR010`` non-blocking coroutines — inside ``async def`` functions in
+    ``repro.server`` no ``time.sleep()`` and no blocking socket calls
+    (``recv``/``send``/``sendall``/``accept``/``connect``): one blocking
+    call inside a coroutine stalls the event loop and with it **every**
+    pipelined connection, not just the offender's.  Blocking work
+    belongs on the executor (``run_in_executor``); awaited stream calls
+    (``await reader.read(...)``) are exempt.
 """
 
 from __future__ import annotations
@@ -288,11 +295,14 @@ def _body_is_silent(body: Sequence[ast.stmt]) -> bool:
 _MUTATORS = {"insert_row", "delete_rid", "update_rid", "restore_row"}
 
 #: Modules that may call the physical mutators directly: the undo/WAL
-#: logging layer, the storage/index layers themselves, and the bulk
-#: loaders (which run before a WAL is attached, by design).
+#: logging layers (``query.dml`` and the vectorized ``core.batch``, which
+#: pairs every mutation with ``dml._log_undo``), the storage/index layers
+#: themselves, and the bulk loaders (which run before a WAL is attached,
+#: by design).
 _MUTATION_ALLOWED = (
     "repro.query.dml",
     "repro.query.transaction",
+    "repro.core.batch",
     "repro.storage",
     "repro.indexes",
     "repro.workloads",
@@ -378,8 +388,16 @@ def _check_socket_guards(
             continue
         guarded = False
         socket_calls: list[tuple[int, str]] = []
+        # A directly-awaited call is an async stream API, not a raw
+        # socket — timeouts for those are wait_for's job (RPR010 covers
+        # the blocking-in-coroutine direction).
+        awaited = {
+            id(node.value)
+            for node in _own_nodes(func)
+            if isinstance(node, ast.Await)
+        }
         for node in _own_nodes(func):
-            if not isinstance(node, ast.Call):
+            if not isinstance(node, ast.Call) or id(node) in awaited:
                 continue
             callee = node.func
             name = (
@@ -454,6 +472,60 @@ def _check_decision_before_ack(
 
 
 # ----------------------------------------------------------------------
+# RPR010 — coroutines in the serving layer never block the event loop
+
+#: Socket methods that park the calling thread — fatal inside a
+#: coroutine, where the calling thread IS the event loop.
+_BLOCKING_SOCKET_CALLS = _SOCKET_CALLS | {"connect"}
+
+_ASYNC_SCOPED = ("repro.server",)
+
+
+def _check_async_blocking(
+    module: ModuleName, tree: ast.Module
+) -> Iterator[tuple[int, str]]:
+    if not _in(module, _ASYNC_SCOPED):
+        return
+    for func in ast.walk(tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        # A call that is directly awaited is an async API whatever its
+        # name (``await stream.send(...)``) — only sync calls block.
+        awaited = {
+            id(node.value)
+            for node in _own_nodes(func)
+            if isinstance(node, ast.Await)
+        }
+        found: list[tuple[int, str]] = []
+        for node in _own_nodes(func):
+            if not isinstance(node, ast.Call) or id(node) in awaited:
+                continue
+            callee = node.func
+            if not isinstance(callee, ast.Attribute):
+                continue
+            if (
+                callee.attr == "sleep"
+                and isinstance(callee.value, ast.Name)
+                and callee.value.id == "time"
+            ):
+                found.append((
+                    node.lineno,
+                    f"time.sleep() inside coroutine {func.name!r} stalls "
+                    "the event loop and every pipelined connection on it; "
+                    "use asyncio.sleep() or move the wait to the executor",
+                ))
+            elif callee.attr in _BLOCKING_SOCKET_CALLS:
+                found.append((
+                    node.lineno,
+                    f"blocking socket .{callee.attr}() inside coroutine "
+                    f"{func.name!r}; the event loop thread must never "
+                    "block — use the asyncio stream API or "
+                    "run_in_executor",
+                ))
+        yield from sorted(found)
+
+
+# ----------------------------------------------------------------------
 # RPR008 — snapshot-read paths stay lock-free
 
 #: Modules that are snapshot-read machinery in their entirety.
@@ -523,6 +595,8 @@ RULES: tuple[Rule, ...] = (
          _check_snapshot_lock_free),
     Rule("RPR009", "cross-shard commit acks dominated by decision record",
          _check_decision_before_ack),
+    Rule("RPR010", "server coroutines never block the event loop",
+         _check_async_blocking),
 )
 
 

@@ -42,7 +42,12 @@ from typing import Any
 
 from ..core.strategies import IndexStructure
 from ..workloads import synthetic
-from .harness import prepare_cell, run_delete_cell, run_insert_cell
+from .harness import (
+    prepare_cell,
+    run_bulk_load_cell,
+    run_delete_cell,
+    run_insert_cell,
+)
 from .measure import Measurement
 
 #: Wall-time regression threshold (current median vs baseline median).
@@ -79,7 +84,14 @@ SCENARIOS: tuple[Scenario, ...] = (
     Scenario("child_insert_full_simple", "insert", IndexStructure.FULL, simple=True),
     Scenario("parent_delete_bounded_partial", "delete", IndexStructure.BOUNDED),
     Scenario("index_build_bounded_partial", "build", IndexStructure.BOUNDED),
+    Scenario("bulk_load_looped", "bulk_loop", IndexStructure.BOUNDED),
+    Scenario("bulk_load_vectorized", "bulk_vector", IndexStructure.BOUNDED),
 )
+
+#: The vectorized bulk load must beat the looped twin by at least this
+#: factor on wall clock (the counters are required to be bit-identical,
+#: so the speedup is pure shared work, not skipped work).
+BULK_SPEEDUP_FLOOR = 5.0
 
 
 @dataclass(frozen=True)
@@ -92,6 +104,7 @@ class HotpathConfig:
     null_fraction: float = 0.25
     insert_ops: int = 300
     delete_ops: int = 40
+    bulk_rows: int = 2_000
     repeats: int = 3
     seed: int = 42
 
@@ -102,6 +115,7 @@ class HotpathConfig:
             "null_fraction": self.null_fraction,
             "insert_ops": self.insert_ops,
             "delete_ops": self.delete_ops,
+            "bulk_rows": self.bulk_rows,
             "repeats": self.repeats,
             "seed": self.seed,
         }
@@ -115,7 +129,9 @@ class HotpathConfig:
         )
 
 
-QUICK = HotpathConfig(parent_rows=500, insert_ops=120, delete_ops=20, repeats=2)
+QUICK = HotpathConfig(
+    parent_rows=500, insert_ops=120, delete_ops=20, bulk_rows=400, repeats=2
+)
 
 
 def _run_once(scenario: Scenario, config: HotpathConfig) -> Measurement:
@@ -127,6 +143,12 @@ def _run_once(scenario: Scenario, config: HotpathConfig) -> Measurement:
         measurement = run_delete_cell(cell, count=config.delete_ops)
     elif scenario.op == "build":
         measurement = cell.build
+    elif scenario.op in ("bulk_loop", "bulk_vector"):
+        measurement = run_bulk_load_cell(
+            cell,
+            count=config.bulk_rows,
+            vectorized=scenario.op == "bulk_vector",
+        )
     else:  # pragma: no cover - scenario table is static
         raise ValueError(f"unknown op {scenario.op!r}")
     report = cell.db.verify_integrity()
@@ -175,11 +197,48 @@ def run_scenarios(config: HotpathConfig, echo=print) -> dict[str, Any]:
             f" maint={counters.get('index_maintenance_ops', 0)}"
             f" full_scans={counters.get('full_scans', 0)}"
         )
+    _check_bulk_speedup(scenarios, echo)
     return {
         "version": 1,
         "config": config.as_dict(),
         "scenarios": scenarios,
     }
+
+
+def _check_bulk_speedup(scenarios: dict[str, Any], echo=print) -> None:
+    """Pin the §9 contract between the two bulk-load twins.
+
+    The looped and vectorized scenarios replay the *same* clustered row
+    stream, so their logical counters must be bit-identical (the
+    vectorized path shares work, it never skips any), and the vectorized
+    wall time must beat the loop by :data:`BULK_SPEEDUP_FLOOR` — that
+    throughput win is the reason the batch path exists.
+    """
+    looped = scenarios.get("bulk_load_looped")
+    vector = scenarios.get("bulk_load_vectorized")
+    if looped is None or vector is None:
+        return
+    if looped["counters"] != vector["counters"]:
+        changed = sorted(
+            set(looped["counters"].items()) ^ set(vector["counters"].items())
+        )
+        raise AssertionError(
+            "bulk load: vectorized counters differ from the looped twin "
+            f"(differing entries: {changed}) — vectorized enforcement "
+            "must share work, not skip it"
+        )
+    speedup = (
+        looped["wall_ms_median"] / vector["wall_ms_median"]
+        if vector["wall_ms_median"]
+        else float("inf")
+    )
+    vector["speedup_vs_looped"] = round(speedup, 2)
+    echo(f"  bulk load speedup: {speedup:.1f}x (floor {BULK_SPEEDUP_FLOOR}x)")
+    if speedup < BULK_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"bulk load: vectorized path only {speedup:.2f}x faster than "
+            f"the looped twin (floor {BULK_SPEEDUP_FLOOR}x)"
+        )
 
 
 # ----------------------------------------------------------------------

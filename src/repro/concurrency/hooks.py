@@ -228,6 +228,50 @@ def verify_parent_exists(
     return False
 
 
+def verify_parent_exists_many(
+    db: "Database",
+    fk: "ForeignKey",
+    columns: Sequence[str],
+    values_list: Sequence[Sequence[Any]],
+) -> list[bool]:
+    """Vectorized :func:`verify_parent_exists` for one probe shape.
+
+    Single-session statements go straight to
+    :func:`repro.query.probes.exists_eq_many` (sorted, deduplicated
+    descents).  Managed sessions verify each **distinct** value tuple
+    once — in encoded-key order, so a batch pins its witness S-locks in
+    a deterministic global order — and replay the probe's tracker delta
+    for the duplicates: the parent table is not mutated by the child
+    batch itself, so every duplicate would have charged exactly what its
+    first probe charged, and the witness S-lock / recorded-witness side
+    effects are idempotent (re-grants and set inserts).
+    """
+    from ..query import probes
+
+    parent = db.table(fk.parent_table)
+    if _locker(db) is None:
+        return probes.exists_eq_many(parent, list(columns), values_list)
+    tracker = parent.tracker
+    groups: dict[tuple[Any, ...], list[int]] = {}
+    for position, values in enumerate(values_list):
+        groups.setdefault(tuple(values), []).append(position)
+    results = [False] * len(values_list)
+    witness_probe = probes.prepared(parent, tuple(columns))
+    for key in probes.probe_order(witness_probe, list(groups), tuple(values_list[0])):
+        positions = groups[key]
+        before = tracker.snapshot() if len(positions) > 1 else None
+        hit = verify_parent_exists(db, fk, columns, list(key))
+        if before is not None:
+            delta = tracker.snapshot().diff(before)
+            extra = len(positions) - 1
+            for name, amount in delta.counters.items():
+                if amount:
+                    tracker.count(name, amount * extra)
+        for position in positions:
+            results[position] = hit
+    return results
+
+
 def revalidate_witnesses(db: "Database", txn: Any) -> None:
     """Commit-time witness re-check (MVCC only).
 

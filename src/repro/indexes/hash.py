@@ -48,6 +48,22 @@ class HashIndex:
             del self._buckets[key]
         self._size -= 1
 
+    def insert_run(self, entries: list[tuple[EncodedKey, int]]) -> None:
+        """Insert a batch of entries; on failure the already-inserted
+        prefix is removed again.  Structural inserts charge nothing, so
+        this is trivially charge-identical to a loop of :meth:`insert` —
+        it exists so every index structure offers the same bulk hook.
+        """
+        done = 0
+        try:
+            for key, rid in entries:
+                self.insert(key, rid)
+                done += 1
+        except BaseException:
+            for key, rid in reversed(entries[:done]):
+                self.delete(key, rid)
+            raise
+
     def lookup(self, key: EncodedKey) -> Iterator[tuple[EncodedKey, int]]:
         """Yield all entries with exactly *key* (full-key equality only)."""
         self._count("index_node_reads")

@@ -91,6 +91,37 @@ class TableIndex:
         self._structure.insert(key, rid)
         self._count("index_maintenance_ops")
 
+    def insert_encoded_many(self, pairs: Sequence[tuple[int, EncodedRow]]) -> None:
+        """Insert a batch of encoded rows with one structure-level run.
+
+        Unique indexes keep the per-entry loop: their duplicate probe
+        must observe the batch's own earlier entries, so probe and insert
+        stay interleaved exactly as :meth:`insert_encoded` interleaves
+        them.  Non-unique B+ trees hand the whole run to
+        :meth:`~repro.indexes.btree.BPlusTree.insert_run` (one descent
+        per run of adjacent keys) and charge ``index_maintenance_ops``
+        once per entry — the same total the per-row path charges.  Any
+        failure removes the batch's already-inserted prefix.
+        """
+        entries = [
+            (tuple([encoded[p] for p in self.positions]), rid)
+            for rid, encoded in pairs
+        ]
+        if self.definition.unique:
+            done = 0
+            try:
+                for key, rid in entries:
+                    self._insert_key(rid, key)
+                    done += 1
+            except BaseException:
+                for key, rid in reversed(entries[:done]):
+                    self._structure.delete(key, rid)
+                    self._count("index_maintenance_ops")
+                raise
+            return
+        self._structure.insert_run(entries)
+        self._count("index_maintenance_ops", len(entries))
+
     def _has_total_duplicate(self, key: EncodedKey) -> bool:
         """SQL-style uniqueness: keys containing NULL never collide."""
         if any(tag == 0 for tag, __ in key):
@@ -296,6 +327,34 @@ class IndexManager:
         except Exception:
             for index in done:
                 index.delete_encoded(rid, encoded)
+            raise
+
+    def insert_rows(self, pairs: Sequence[tuple[int, Sequence[Any]]]) -> None:
+        """Maintain every index for a batch of new rows, index-major.
+
+        Each row is encoded once; each index then consumes the whole
+        batch through :meth:`TableIndex.insert_encoded_many` — a single
+        run per structure instead of one fan-out per row.  Per index the
+        entries arrive in the same order the per-row path would apply
+        them, so structure evolution and charges are bit-identical; the
+        indexes merely see the batch one after another instead of
+        interleaved.  On failure, indexes already fully maintained are
+        compensated (the failing index removed its own prefix).
+        """
+        if not self._indexes or not pairs:
+            return
+        encoded_pairs = [
+            (rid, encode_row(row, self._positions_union)) for rid, row in pairs
+        ]
+        done: list[TableIndex] = []
+        try:
+            for index in self._indexes.values():
+                index.insert_encoded_many(encoded_pairs)
+                done.append(index)
+        except Exception:
+            for index in done:
+                for rid, encoded in reversed(encoded_pairs):
+                    index.delete_encoded(rid, encoded)
             raise
 
     def delete_row(self, rid: int, row: Sequence[Any]) -> None:

@@ -74,7 +74,9 @@ def decorrelated_backoff(
         yield delay
 
 #: Ops the server ledgers: stamped with (client, req) automatically.
-_STAMPED_OPS = frozenset({"insert", "delete", "update", "execute", "commit"})
+_STAMPED_OPS = frozenset(
+    {"insert", "delete", "update", "execute", "commit", "batch"}
+)
 
 _TXN_TOKEN = re.compile(r"\b(begin|commit|rollback)\b", re.IGNORECASE)
 
@@ -369,6 +371,34 @@ class ReproClient:
     def insert(self, table: str, values: Sequence[Any]) -> int:
         return self.request("insert", table=table, values=list(values))["rid"]
 
+    def batch_insert(
+        self, table: str, rows: Sequence[Sequence[Any]]
+    ) -> list[int]:
+        """Insert many rows as ONE stamped request: one exactly-once
+        ledger entry covers the whole batch, and the server runs the
+        vectorized enforcement path (one index walk per key run)."""
+        return self.request(
+            "batch", table=table, rows=[list(r) for r in rows]
+        )["rids"]
+
+    def pipeline(self) -> "Pipeline":
+        """Start a pipelined request stream on this connection.
+
+        Requests are stamped and written eagerly without awaiting
+        replies; :meth:`Pipeline.drain` collects the replies, which the
+        server returns strictly in send order (each echoes its request
+        ``id``).  Not allowed inside an explicit transaction: a torn
+        pipeline would have to replay mid-transaction statements out of
+        context (the same reason :meth:`request` refuses to redeliver
+        them).
+        """
+        if self._in_txn:
+            raise ReproError(
+                "pipeline() inside an explicit transaction is not "
+                "supported; commit or roll back first"
+            )
+        return Pipeline(self)
+
     def delete(self, table: str, equals: dict[str, Any] | None = None) -> int:
         return self.request("delete", table=table, equals=equals)["rowcount"]
 
@@ -433,3 +463,128 @@ class ReproClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class Pipeline:
+    """One pipelined request stream on a :class:`ReproClient`.
+
+    :meth:`send` stamps and writes each request immediately — no waiting
+    for replies — and tags it with a connection-local ``id``.
+    :meth:`drain` then collects every reply; the server answers one
+    connection strictly in request order, and each reply echoes its
+    request's ``id``, which drain verifies.
+
+    Error replies do **not** stop the stream: the server keeps executing
+    the later pipelined requests, so drain returns one response dict per
+    request (``ok`` False for the failures) instead of raising on the
+    first error.
+
+    **Exactly-once across tears.**  Mutating requests carry the same
+    ``(client, req)`` idempotency stamps as the unpipelined path, and
+    they are assigned at *send* time.  When the stream tears (server
+    killed mid-pipeline, proxy dropped a frame), every request whose
+    reply never arrived is redelivered under its **original** stamp on
+    a fresh connection — the server's result ledger replays the ones
+    that committed and executes the ones that never arrived.  A batch
+    acknowledged once is never applied twice.
+    """
+
+    def __init__(self, client: ReproClient) -> None:
+        self._client = client
+        self._sent: list[dict[str, Any]] = []
+        self._next_id = 0
+        self._torn = False
+        self._drained = False
+
+    def __len__(self) -> int:
+        return len(self._sent)
+
+    def send(self, op: str, **payload: Any) -> int:
+        """Stamp and write one request without awaiting its reply.
+
+        Returns the pipeline-local ``id`` the reply will echo.  A write
+        failure does not raise: the request joins the unacknowledged
+        tail and :meth:`drain` redelivers it under its original stamp.
+        """
+        if self._drained:
+            raise ReproError("pipeline already drained")
+        if op in ("begin", "commit", "rollback"):
+            # A pipeline is an autocommit stream: transaction control
+            # would tie later requests to session state a redelivery
+            # (which lands on a fresh session) cannot reproduce.
+            raise ReproError(f"{op!r} cannot be pipelined")
+        client = self._client
+        message: dict[str, Any] = {"op": op, **payload}
+        if op in _STAMPED_OPS and "client" not in message:
+            client._request_id += 1
+            message["client"] = client.client_id
+            message["req"] = client._request_id
+        self._next_id += 1
+        message["id"] = self._next_id
+        self._sent.append(message)
+        if not self._torn and client._sock is not None:
+            try:
+                wire.send_frame(client._sock, message)
+            except (wire.WireError, OSError):
+                self._torn = True
+        else:
+            self._torn = True
+        return message["id"]
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Collect one reply per sent request, in send order.
+
+        Replies already in flight are read off the connection and their
+        ``id`` pairing verified.  If the stream tore, the
+        unacknowledged tail is redelivered request-by-request under the
+        original stamps (``auto_reconnect`` permitting); error replies
+        are returned as their response dicts, never raised.
+        """
+        if self._drained:
+            raise ReproError("pipeline already drained")
+        self._drained = True
+        client = self._client
+        responses: list[dict[str, Any]] = []
+        pending = list(self._sent)
+        while pending and not self._torn:
+            try:
+                response = wire.recv_frame(client._sock)  # type: ignore[arg-type]
+            except (wire.WireError, OSError):
+                self._torn = True
+                break
+            if response is None:
+                self._torn = True
+                break
+            expected = pending[0]["id"]
+            if response.get("id") != expected:
+                raise wire.WireError(
+                    f"pipelined reply out of order: expected id "
+                    f"{expected}, got {response.get('id')!r}"
+                )
+            responses.append(response)
+            pending.pop(0)
+        if pending:
+            if not client.auto_reconnect:
+                raise DeliveryUnknown(
+                    f"pipeline tore with {len(pending)} replies "
+                    "outstanding and auto_reconnect disabled"
+                )
+            for message in pending:
+                responses.append(self._redeliver(message))
+        return responses
+
+    def _redeliver(self, message: dict[str, Any]) -> dict[str, Any]:
+        try:
+            return self._client._deliver(message)
+        except ServerError as exc:
+            response: dict[str, Any] = {
+                "ok": False,
+                "id": message["id"],
+                "error": str(exc),
+                "error_type": exc.error_type,
+                "retryable": exc.retryable,
+                "rolled_back": exc.rolled_back,
+            }
+            if exc.retry_after is not None:
+                response["retry_after"] = exc.retry_after
+            return response

@@ -18,11 +18,16 @@ memory of the commit*, not by executing again.  The protocol:
 * checkpoints snapshot the ledger into the WAL's ``extras`` so
   compaction cannot truncate it away.
 
-Bounds: request ids are monotonic, so one entry per client suffices
-(the client only ever retries its newest request); clients are evicted
-least-recently-used past ``capacity``.  A request id older than the
-stored one is a protocol violation and is refused rather than
-re-executed.
+Bounds: each client keeps a **window** of its most recent acknowledged
+results, not just the newest one.  A stop-and-wait client only ever
+retries its single newest request, but a *pipelined* client streams many
+stamped requests without awaiting replies — after a mid-stream tear it
+redelivers every unacknowledged request, the oldest of which can sit
+well behind the newest id the server completed.  The window (sized above
+any sane pipeline depth) lets all of them replay.  A request id behind
+the retained window is still a protocol violation and is refused rather
+than re-executed; clients are evicted least-recently-used past
+``capacity``.
 """
 
 from __future__ import annotations
@@ -37,8 +42,14 @@ from ..errors import ReproError
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.wal import WalRecord
 
-#: Ledger snapshots map client id -> (request id, acknowledged result).
-LedgerSnapshot = dict[str, tuple[int, "dict[str, Any] | None"]]
+#: Ledger snapshots map client id -> {request id: acknowledged result}.
+#: (Older snapshots used ``(request_id, result)`` tuples; ``restore``
+#: still accepts that shape.)
+LedgerSnapshot = dict[str, "dict[int, dict[str, Any] | None]"]
+
+#: Per-client replay window.  Must exceed the deepest pipeline a client
+#: may have in flight when its connection tears.
+DEFAULT_WINDOW = 256
 
 
 class LedgerError(ReproError):
@@ -69,14 +80,21 @@ class LedgerEntry:
 class ResultLedger:
     """Bounded per-client memory of acknowledged mutation results."""
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self, capacity: int = 1024, window: int = DEFAULT_WINDOW
+    ) -> None:
         if capacity < 1:
             raise LedgerError("ledger capacity must be >= 1")
+        if window < 1:
+            raise LedgerError("ledger window must be >= 1")
         self.capacity = capacity
+        self.window = window
         self._mu = threading.Lock()
-        self._entries: OrderedDict[str, tuple[int, dict[str, Any] | None]] = (
-            OrderedDict()
-        )
+        #: client id -> request id -> acknowledged result, each inner
+        #: map ordered by request id (its own bounded replay window).
+        self._entries: OrderedDict[
+            str, OrderedDict[int, dict[str, Any] | None]
+        ] = OrderedDict()
         self.evictions = 0
 
     def __len__(self) -> int:
@@ -88,18 +106,22 @@ class ResultLedger:
     def replay(self, client_id: str, request_id: int) -> dict[str, Any] | None:
         """The stored response for a retried request, or None if new.
 
-        A request id *behind* the stored one cannot be honoured — its
-        result was already superseded — and re-executing it would break
-        exactly-once, so it is refused loudly.
+        Any id inside the client's retained window replays (a pipelined
+        redelivery legitimately re-sends several ids at once, the oldest
+        behind the newest completed one).  An id behind the window
+        cannot be honoured — its result was already superseded — and
+        re-executing it would break exactly-once, so it is refused
+        loudly.
         """
         with self._mu:
-            stored = self._entries.get(client_id)
-            if stored is None:
+            window = self._entries.get(client_id)
+            if window is None:
                 return None
-            last_id, result = stored
+            last_id = next(reversed(window))
             if request_id > last_id:
                 return None
-            if request_id < last_id:
+            result = window.get(request_id, _MISSING)
+            if result is _MISSING:
                 raise LedgerError(
                     f"client {client_id!r} replayed request {request_id} "
                     f"after already completing request {last_id}"
@@ -117,10 +139,24 @@ class ResultLedger:
     ) -> None:
         """Remember the acknowledged result of a committed request."""
         with self._mu:
-            stored = self._entries.get(client_id)
-            if stored is not None and stored[0] > request_id:
-                return  # stale restore racing a newer live commit
-            self._entries[client_id] = (request_id, result)
+            window = self._entries.get(client_id)
+            if window is None:
+                window = self._entries[client_id] = OrderedDict()
+            if request_id in window:
+                if window[request_id] is None and result is not None:
+                    window[request_id] = result  # fill a lost result
+            else:
+                out_of_order = bool(window) and request_id < next(
+                    reversed(window)
+                )
+                window[request_id] = result
+                if out_of_order:
+                    # A stale restore landing after newer live commits:
+                    # re-sort so pruning keeps dropping the oldest ids.
+                    for key in sorted(window):
+                        window.move_to_end(key)
+                while len(window) > self.window:
+                    window.popitem(last=False)
             self._entries.move_to_end(client_id)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -132,7 +168,8 @@ class ResultLedger:
     def snapshot(self) -> LedgerSnapshot:
         """A picklable image for the WAL checkpoint's extras."""
         with self._mu:
-            return dict(self._entries)
+            return {client: dict(window)
+                    for client, window in self._entries.items()}
 
     def restore(
         self,
@@ -147,9 +184,12 @@ class ResultLedger:
         """
         restored = 0
         if snapshot:
-            for client_id, (request_id, result) in snapshot.items():
-                self.record(client_id, request_id, result)
-                restored += 1
+            for client_id, stored in snapshot.items():
+                if isinstance(stored, tuple):  # pre-window snapshot shape
+                    stored = {stored[0]: stored[1]}
+                for request_id in sorted(stored):
+                    self.record(client_id, request_id, stored[request_id])
+                    restored += 1
         for record in records:
             if record.kind != "commit" or not record.payload:
                 continue
@@ -158,3 +198,8 @@ class ResultLedger:
                 self.record(note.client_id, note.request_id, note.result)
                 restored += 1
         return restored
+
+
+#: Sentinel distinguishing "id absent from the window" from a stored
+#: ``None`` result (committed, result lost).
+_MISSING: Any = object()

@@ -1,23 +1,36 @@
-"""A threaded wire server over one shared, session-managed database.
+"""An asyncio pipelined wire server over one shared, session-managed
+database.
 
 Architecture::
 
-    accept thread ──> one handler thread per connection
-                          │  each connection owns a Session
-                          │  (isolated transaction slot + 2PL locks)
-                          └─ requests run under admission control:
-                             at most ``max_inflight`` statements execute
-                             at once; the rest queue, and a queue wait
-                             longer than ``admission_timeout`` is
-                             rejected with a retryable "overloaded"
-                             error (backpressure, not collapse).
+    asyncio event loop (background thread)
+        │  one reader task + one worker task per connection
+        │     reader: decodes frames as fast as they arrive and queues
+        │             them — clients may *pipeline* (stream stamped
+        │             requests without awaiting replies)
+        │     worker: executes the queue strictly in order, one at a
+        │             time (a connection is one Session), and replies
+        │             in order, echoing each request's ``id``
+        └─ dispatch runs on a thread pool: blocking engine work (locks,
+           the statement latch, admission waits) never blocks the loop.
+           Admission control is unchanged: at most ``max_inflight``
+           statements execute at once; the rest queue, and a queue wait
+           longer than ``admission_timeout`` is rejected with a
+           retryable "overloaded" error (backpressure, not collapse).
 
 Request ops (all JSON, see :mod:`repro.server.wire` for framing):
 
 ``ping`` · ``execute`` (SQL text, incl. BEGIN/COMMIT/ROLLBACK) ·
 ``insert`` / ``delete`` / ``update`` / ``select`` (structured DML) ·
-``begin`` / ``commit`` / ``rollback`` · ``verify`` (integrity report) ·
-``stats`` (server + lock-manager counters).
+``batch`` (vectorized multi-row insert) · ``begin`` / ``commit`` /
+``rollback`` · ``verify`` (integrity report) · ``stats`` (server +
+lock-manager counters).
+
+**Pipelining.**  Replies on one connection are always in request order;
+a request carrying an ``id`` field gets it echoed on its reply, so a
+pipelining client can additionally assert the pairing.  Ordering is per
+connection only — concurrent connections interleave at the engine's
+discretion, exactly as before.
 
 Error responses carry ``retryable``: deadlock victims, lock timeouts,
 injected transient faults and admission rejections are safe to retry
@@ -44,8 +57,9 @@ torn transaction.
 
 from __future__ import annotations
 
-import socket
+import asyncio
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any
 
 from ..concurrency.locks import DEFAULT_LOCK_TIMEOUT
@@ -80,17 +94,21 @@ DEFAULT_SEND_TIMEOUT = 10.0
 #: Ledgered commits between durable checkpoints (log compaction).
 DEFAULT_CHECKPOINT_EVERY = 256
 
-#: How often blocked accept/recv loops wake to check for shutdown.
-_POLL_S = 0.2
-
 _RETRYABLE = (DeadlockError, LockTimeoutError, SerializationError, TransientFault)
 
 #: Ops that may commit under an idempotency key.  ``begin`` is absent on
 #: purpose: retrying it on a fresh connection is inherently safe (the
 #: torn connection's transaction was rolled back at disconnect).
 #: ``txn`` is the shard coordinator's one-phase batch: it autocommits,
-#: so a redelivered batch must replay rather than re-execute.
-_LEDGERED_OPS = frozenset({"insert", "delete", "update", "execute", "commit", "txn"})
+#: so a redelivered batch must replay rather than re-execute.  ``batch``
+#: is the vectorized multi-row insert: one stamp covers the whole batch.
+_LEDGERED_OPS = frozenset(
+    {"insert", "delete", "update", "execute", "commit", "txn", "batch"}
+)
+
+#: Sentinel a connection's reader task enqueues when its stream ends
+#: (clean EOF, torn frame, injected fault): tells the worker to stop.
+_EOF = object()
 
 
 class Overloaded(ReproError):
@@ -115,6 +133,7 @@ class ServerStats:
         self.idempotent_replays = 0
         self.accept_faults = 0
         self.checkpoints = 0
+        self.read_faults = 0
 
     def bump(self, field: str, by: int = 1) -> None:
         with self._mu:
@@ -132,6 +151,7 @@ class ServerStats:
                 "idempotent_replays": self.idempotent_replays,
                 "accept_faults": self.accept_faults,
                 "checkpoints": self.checkpoints,
+                "read_faults": self.read_faults,
             }
 
 
@@ -171,10 +191,12 @@ class ReproServer:
         self._admission = threading.Semaphore(max_inflight)
         self._admission_mu = threading.Lock()
         self._admission_waiting = 0
-        self._listener: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
-        self._handlers: list[threading.Thread] = []
-        self._handlers_mu = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._aserver: asyncio.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_queues: set[asyncio.Queue] = set()
         self._stopping = threading.Event()
         self._started = False
         # Durability: a data_dir makes the WAL file-backed and replays
@@ -210,30 +232,57 @@ class ReproServer:
 
     @property
     def port(self) -> int:
-        if self._listener is None:
+        if self._aserver is None:
             raise ReproError("server is not started")
-        return self._listener.getsockname()[1]
+        return self._aserver.sockets[0].getsockname()[1]
 
     @property
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
 
     def start(self) -> "ReproServer":
-        """Bind, listen and start accepting in a background thread."""
+        """Bind, listen and start serving on a background event loop."""
         if self._started:
             raise ReproError("server already started")
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.host, self._requested_port))
-        listener.listen(64)
-        listener.settimeout(_POLL_S)
-        self._listener = listener
-        self._started = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="repro-accept", daemon=True
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-loop", daemon=True
         )
-        self._accept_thread.start()
+        self._loop_thread.start()
+        # Dispatch blocks (locks, latch, admission waits); each serial
+        # connection worker holds at most one pool thread at a time, so
+        # sizing generously above max_inflight keeps admission control —
+        # not pool starvation — the thing that sheds load.
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(32, self.max_inflight * 4),
+            thread_name_prefix="repro-dispatch",
+        )
+        try:
+            self._aserver = asyncio.run_coroutine_threadsafe(
+                self._start_serving(), self._loop
+            ).result()
+        except BaseException:
+            self._stop_loop()
+            raise
+        self._started = True
         return self
+
+    async def _start_serving(self) -> asyncio.Server:
+        return await asyncio.start_server(
+            self._serve_connection, self.host, self._requested_port
+        )
+
+    def _stop_loop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(5.0)
+                self._loop_thread = None
+            self._loop.close()
+            self._loop = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
 
     def shutdown(self, timeout: float = 10.0) -> int:
         """Drain and stop.  Returns how many open transactions were
@@ -243,20 +292,34 @@ class ReproServer:
         before = self.stats.rolled_back_on_shutdown
         self.twophase.stop()
         self._stopping.set()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout)
-        with self._handlers_mu:
-            handlers = list(self._handlers)
-        for thread in handlers:
-            thread.join(timeout)
-        if self._listener is not None:
-            self._listener.close()
-            self._listener = None
-        # Draining handlers roll back their own sessions; close_all picks
+        assert self._loop is not None
+        asyncio.run_coroutine_threadsafe(
+            self._drain(timeout), self._loop
+        ).result(timeout + 5.0)
+        self._aserver = None
+        self._stop_loop()
+        # Draining workers roll back their own sessions; close_all picks
         # up whatever was left (e.g. sessions created outside a handler).
         self.stats.bump("rolled_back_on_shutdown", self.sessions.close_all())
         self._started = False
         return self.stats.rolled_back_on_shutdown - before
+
+    async def _drain(self, timeout: float) -> None:
+        """Stop accepting, let each worker finish its in-flight request
+        (and send its reply), discard queued pipeline tail, close."""
+        if self._aserver is not None:
+            self._aserver.close()
+            await self._aserver.wait_closed()
+        # Wake workers blocked on an idle queue; workers re-check the
+        # stopping flag after every dequeue, so anything still queued
+        # behind the in-flight request is discarded, not executed.
+        for queue in list(self._conn_queues):
+            queue.put_nowait(_EOF)
+        tasks = list(self._conn_tasks)
+        if tasks:
+            __, pending = await asyncio.wait(tasks, timeout=timeout)
+            for task in pending:
+                task.cancel()
 
     def __enter__(self) -> "ReproServer":
         return self.start()
@@ -265,80 +328,112 @@ class ReproServer:
         self.shutdown()
 
     # ------------------------------------------------------------------
-    # Accept / per-connection loops
+    # Per-connection tasks
 
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        while not self._stopping.is_set():
-            try:
-                conn, __ = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        try:
             try:
                 fire("wire.accept")
             except ReproError:
                 # Injected accept fault: shed the connection at the door.
                 self.stats.bump("accept_faults")
-                conn.close()
-                continue
+                writer.close()
+                return
             self.stats.bump("connections_total")
-            thread = threading.Thread(
-                target=self._handle_connection,
-                args=(conn,),
-                name=f"repro-conn-{self.stats.connections_total}",
-                daemon=True,
-            )
-            with self._handlers_mu:
-                self._handlers.append(thread)
-            thread.start()
+            await self._connection_loop(reader, writer)
+        finally:
+            self._conn_tasks.discard(task)
 
-    def _handle_connection(self, conn: socket.socket) -> None:
-        conn.settimeout(_POLL_S)
-        session = self.sessions.session()
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        # Session creation can block on the manager latch: off the loop.
+        session = await loop.run_in_executor(
+            self._executor, self.sessions.session
+        )
         sql_session = SqlSession(self.db)
+        queue: asyncio.Queue = asyncio.Queue()
+        self._conn_queues.add(queue)
+        reader_task = asyncio.create_task(self._read_loop(reader, queue))
         try:
             while not self._stopping.is_set():
-                try:
-                    request = wire.recv_frame(conn)
-                except socket.timeout:
-                    continue
-                except (wire.WireError, OSError):
+                request = await queue.get()
+                if request is _EOF or self._stopping.is_set():
                     break
-                if request is None:
-                    break  # clean EOF
+                response = await loop.run_in_executor(
+                    self._executor, self._dispatch_safely,
+                    session, sql_session, request,
+                )
+                if "id" in request:
+                    # Copy before tagging: the dict may be a ledger-cached
+                    # reply, and the stamp's recorded result must not grow
+                    # connection-local fields.
+                    response = {**response, "id": request["id"]}
                 # Replies must not be torn, but a stalled reader must
-                # not pin this worker forever either: bound the send and
-                # disconnect the offender on timeout.
-                conn.settimeout(self.send_timeout)
+                # not pin this connection forever either: bound the
+                # drain and disconnect the offender on timeout.
                 try:
-                    response = self._dispatch(session, sql_session, request)
-                except Exception as exc:  # noqa: BLE001 - boundary
-                    response = self._error_response(session, exc)
-                try:
-                    wire.send_frame(conn, response)
-                except socket.timeout:
+                    await asyncio.wait_for(
+                        wire.write_frame(writer, response), self.send_timeout
+                    )
+                except asyncio.TimeoutError:
                     self.stats.bump("send_timeouts")
                     break
-                except OSError:
+                except (ConnectionError, OSError):
                     break
-                finally:
-                    conn.settimeout(_POLL_S)
         finally:
-            if session.in_transaction:
-                if self._stopping.is_set():
-                    self.stats.bump("rolled_back_on_shutdown")
-                session.rollback()
-            session.close()
-            try:
-                conn.close()
-            except OSError:
-                pass
-            with self._handlers_mu:
-                current = threading.current_thread()
-                if current in self._handlers:
-                    self._handlers.remove(current)
+            reader_task.cancel()
+            self._conn_queues.discard(queue)
+            await loop.run_in_executor(
+                self._executor, self._release_session, session
+            )
+            writer.close()
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, queue: asyncio.Queue
+    ) -> None:
+        """Decode frames as fast as the client pipelines them.
+
+        Any read failure — clean EOF, torn frame, injected wire fault —
+        ends the connection's intake; the worker finishes what is already
+        queued (replies stay in order), then tears down.
+        """
+        try:
+            while True:
+                request = await wire.read_frame(reader)
+                if request is None:
+                    break  # clean EOF
+                queue.put_nowait(request)
+        except (wire.WireError, ReproError, OSError, EOFError):
+            # A torn frame or injected wire fault ends intake for this
+            # connection only; the client's redelivery protocol recovers.
+            self.stats.bump("read_faults")
+        finally:
+            queue.put_nowait(_EOF)
+
+    def _dispatch_safely(
+        self,
+        session: "Session",
+        sql_session: SqlSession,
+        request: dict[str, Any],
+    ) -> dict[str, Any]:
+        try:
+            return self._dispatch(session, sql_session, request)
+        except Exception as exc:  # noqa: BLE001 - boundary
+            return self._error_response(session, exc)
+
+    def _release_session(self, session: "Session") -> None:
+        if session.in_transaction:
+            if self._stopping.is_set():
+                self.stats.bump("rolled_back_on_shutdown")
+            session.rollback()
+        session.close()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -543,6 +638,23 @@ class ReproServer:
         def work() -> dict[str, Any]:
             rid = self.db.insert(table, values)
             return self._fill(entry, {"ok": True, "rid": rid})
+
+        return self._admitted(lambda: session.execute(work))
+
+    def _op_batch(self, session, sql_session, request, entry) -> dict[str, Any]:
+        """Vectorized multi-row insert: one stamp, one transaction, one
+        index walk per run of adjacent keys (repro.core.batch)."""
+        table = request["table"]
+        rows_field = request.get("rows")
+        if not isinstance(rows_field, list):
+            raise ReproError("batch needs a 'rows' list")
+        rows = [wire.decode_values(r) for r in rows_field]
+
+        def work() -> dict[str, Any]:
+            rids = self.db.batch_insert(table, rows)
+            return self._fill(
+                entry, {"ok": True, "rids": rids, "rowcount": len(rids)}
+            )
 
         return self._admitted(lambda: session.execute(work))
 

@@ -375,6 +375,10 @@ class ShardCoordinator:
                     break
                 except Exception as exc:  # noqa: BLE001 - boundary
                     response = self._error_response(exc)
+                if "id" in request:
+                    # Pipelined clients pair replies by id; copy so a
+                    # shard-cached reply dict is not mutated.
+                    response = {**response, "id": request["id"]}
                 try:
                     wire.send_frame(conn, response)
                 except (socket.timeout, OSError):
@@ -795,12 +799,26 @@ class ShardCoordinator:
         return {"ok": True, "pong": True, "session_id": state.session_id}
 
     def _op_insert(self, state: _ConnState, request: dict[str, Any]) -> dict[str, Any]:
-        table = request["table"]
-        values = request.get("values") or []
         if state.in_txn:
             state.buffer.append(dict(request))
             return {"ok": True, "rid": -1, "buffered": True}
-        base = self._base_of(request)
+        return self._insert_routed(
+            self._base_of(request), request["table"],
+            list(request.get("values") or []),
+        )
+
+    def _insert_routed(
+        self,
+        base: tuple[str, int] | None,
+        table: str,
+        values: list[Any],
+    ) -> dict[str, Any]:
+        """Route one autocommit insert: forward, one-phase pin+insert on
+        the witness's shard, or 2PC — under *base*'s exactly-once stamp."""
+        request: dict[str, Any] = {"op": "insert", "table": table,
+                                   "values": list(values)}
+        if base is not None:
+            request["client"], request["req"] = base
         route = self.catalog.route(table)
         row = route.row_mapping(values)
         fk = route.fk
@@ -855,6 +873,117 @@ class ShardCoordinator:
         if response.get("replayed"):
             out["replayed"] = True
         return out
+
+    def _op_batch(self, state: _ConnState, request: dict[str, Any]) -> dict[str, Any]:
+        """Route a multi-row insert batch.
+
+        Co-located batches — every row homes on one shard and none is
+        *partially* referencing (those need a scatter witness probe and
+        possibly a foreign-shard pin) — ship as a single ledgered ``txn``
+        op: one pin per distinct witness key, then one vectorized
+        ``batch`` op, all under the client's own stamp.  Anything else
+        falls back to per-row routing under **derived stamps**
+        ``(client#b<req>, i+1)``: a redelivered batch replays each row
+        from the shard ledgers / decision log, so rows committed before
+        a tear are never applied twice.
+        """
+        table = request["table"]
+        rows_field = request.get("rows")
+        if not isinstance(rows_field, list):
+            raise ReproError("batch needs a 'rows' list")
+        if state.in_txn:
+            raise TransactionStateError(
+                "batch inside an explicit sharded transaction is not "
+                "supported; run it autocommit"
+            )
+        base = self._base_of(request)
+        if not rows_field:
+            self._note_client(base)
+            return {"ok": True, "rids": [], "rowcount": 0}
+        route = self.catalog.route(table)
+        fk = route.fk
+        homes: set[int] = set()
+        pins: list[dict[str, Any]] = []
+        seen_pins: set[tuple[tuple[str, Any], ...]] = set()
+        colocated = True
+        for values in rows_field:
+            row = route.row_mapping(values)
+            homes.add(self.catalog.shard_for(table, row))
+            if fk is None:
+                continue
+            witness_equals = fk.parent_equals(row)
+            if not witness_equals:
+                continue
+            if len(witness_equals) < len(fk.parent_key):
+                colocated = False
+                continue
+            pin_key = tuple(sorted(witness_equals.items()))
+            if pin_key not in seen_pins:
+                seen_pins.add(pin_key)
+                pins.append({"op": "pin", "table": fk.parent_table,
+                             "equals": witness_equals})
+        if colocated and len(homes) == 1:
+            replayed = self._maybe_replay(base)
+            if replayed is not None:
+                return self._batch_ack(replayed)
+            batch_op = {"op": "batch", "table": table,
+                        "rows": [list(r) for r in rows_field]}
+            (home,) = homes
+            return self._batch_ack(
+                self._one_phase(home, base, [*pins, batch_op])
+            )
+        return self._batch_per_row(base, table, rows_field)
+
+    @staticmethod
+    def _batch_ack(response: dict[str, Any]) -> dict[str, Any]:
+        """Normalise a txn/replayed result to the client's batch ack
+        shape (``rids``)."""
+        if "rids" in response:
+            return response
+        out: dict[str, Any] = {"ok": True, "rids": [], "rowcount": 0}
+        for item in response.get("results") or []:
+            if isinstance(item, dict) and item.get("op") == "batch":
+                out["rids"] = list(item["rids"])
+                out["rowcount"] = len(out["rids"])
+                break
+        else:
+            if response.get("result_lost"):
+                out["result_lost"] = True
+        if response.get("replayed"):
+            out["replayed"] = True
+        return out
+
+    def _batch_per_row(
+        self,
+        base: tuple[str, int] | None,
+        table: str,
+        rows: list[Any],
+    ) -> dict[str, Any]:
+        """Cross-shard fallback: one routed insert per row.
+
+        Each row gets a deterministic derived stamp, so the whole batch
+        is replayable row-by-row.  A failure after the first committed
+        row tears the connection — an error reply would falsely promise
+        "nothing committed" for a batch that partially did."""
+        rids: list[int] = []
+        for i, values in enumerate(rows):
+            derived = (
+                (f"{base[0]}#b{base[1]}", i + 1) if base is not None else None
+            )
+            try:
+                response = self._insert_routed(derived, table, list(values))
+            except (_Tear, DeliveryUnknown):
+                raise
+            except Exception:
+                if rids:
+                    raise _Tear(
+                        f"batch row {i} failed after {len(rids)} row(s) "
+                        "committed"
+                    ) from None
+                raise
+            rids.append(int(response.get("rid", -1)))
+        self._note_client(base)
+        return {"ok": True, "rids": rids, "rowcount": len(rids)}
 
     def _op_delete(self, state: _ConnState, request: dict[str, Any]) -> dict[str, Any]:
         if state.in_txn:

@@ -139,6 +139,10 @@ def apply_shard_op(
         predicate = _predicate_from(op.get("equals"))
         count = server.db.update_where(op["table"], assignments, predicate)
         return {"op": "update", "rowcount": count}
+    if kind == "batch":
+        rows = [wire.decode_values(r) for r in op["rows"]]
+        rids = server.db.batch_insert(op["table"], rows)
+        return {"op": "batch", "rids": rids}
     if kind == "pin":
         return _pin_witness(server, session, op)
     raise TwoPhaseError(f"unknown shard op {kind!r}")

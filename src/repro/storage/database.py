@@ -169,6 +169,14 @@ class Database:
 
         return dml.insert(self, table_name, values)
 
+    def batch_insert(
+        self, table_name: str, rows: Sequence[Sequence[Any]]
+    ) -> list[int]:
+        """Vectorized multi-row insert (see :func:`repro.core.batch.batch_insert_rows`)."""
+        from ..core import batch
+
+        return batch.batch_insert_rows(self, table_name, rows)
+
     def delete_where(self, table_name: str, predicate: "Predicate | None" = None) -> int:
         from ..query import dml
 

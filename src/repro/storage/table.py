@@ -89,6 +89,27 @@ class Table:
         self.statistics.add_row(row)
         return rid
 
+    def insert_rows(self, rows: Sequence[Row]) -> list[int]:
+        """Store a batch of pre-validated rows with one index run.
+
+        Heap first (rids are allocated in arrival order, exactly as a
+        loop of :meth:`insert_row` would), then a single index-major
+        maintenance pass (:meth:`IndexManager.insert_rows` — one
+        structure run per index instead of one fan-out per row), then
+        statistics.  A failing index run removes the batch's heap rows
+        again, so a raising batch leaves the table untouched.
+        """
+        rids = [self.heap.insert(row) for row in rows]
+        try:
+            self.indexes.insert_rows(list(zip(rids, rows)))
+        except Exception:
+            for rid in reversed(rids):
+                self.heap.delete(rid)
+            raise
+        for row in rows:
+            self.statistics.add_row(row)
+        return rids
+
     def delete_rid(self, rid: int) -> Row:
         """Remove the row at *rid*, maintaining indexes + statistics."""
         row = self.heap.get(rid)

@@ -161,6 +161,7 @@ class ChaosReport:
     ops_acked: int = 0
     ops_rejected: int = 0
     ops_unknown: int = 0
+    pipelined_batches: int = 0
     txns_torn: int = 0
     client_reconnects: int = 0
     lost: list[int] = field(default_factory=list)
@@ -194,7 +195,8 @@ class ChaosReport:
             f"dirty: {self.recoveries_dirty})",
             f"  ops acked: {self.ops_acked}  rejected: {self.ops_rejected}  "
             f"unknown outcome: {self.ops_unknown}  "
-            f"transactions torn: {self.txns_torn}",
+            f"transactions torn: {self.txns_torn}  "
+            f"pipelined batches: {self.pipelined_batches}",
             f"  client reconnects: {self.client_reconnects}",
         ]
         if self.kills_by_role:
@@ -337,6 +339,7 @@ class _Worker:
         self.unknown_ops = 0
         self.torn = 0
         self.reconnects = 0
+        self.pipelined = 0
         self._next = worker_id * _ID_BLOCK
         self.thread = threading.Thread(
             target=self.run, name=f"chaos-worker-{worker_id}", daemon=True
@@ -371,8 +374,10 @@ class _Worker:
             while not self.stop.is_set():
                 roll = self.rng.random()
                 try:
-                    if roll < 0.50:
+                    if roll < 0.40:
                         self._autocommit_insert(client)
+                    elif roll < 0.50:
+                        self._pipelined_batch(client)
                     elif roll < 0.65:
                         self._explicit_txn(client)
                     elif roll < 0.80:
@@ -412,6 +417,43 @@ class _Worker:
             raise
         self.expected[child_id] = True
         self.acked += 1
+
+    def _pipelined_batch(self, client: ReproClient) -> None:
+        """A pipelined stream of vectorized batch inserts.
+
+        Every stamped request is on the wire before the first reply is
+        read, so a kill -9 or proxy tear can land mid-pipeline;
+        ``drain()`` must then redeliver the unacknowledged tail under
+        the original stamps and the ledger's replay window decides which
+        batches already committed.  Each batch is atomic: an ok reply
+        means every row is present, an error reply means none are.
+        """
+        batches = [
+            [self._values(self._fresh_id())
+             for __ in range(self.rng.randrange(2, 5))]
+            for __ in range(self.rng.randrange(2, 4))
+        ]
+        try:
+            pipe = client.pipeline()
+            for rows in batches:
+                pipe.send("batch", table="C", rows=rows)
+            responses = pipe.drain()
+        except (DeliveryUnknown, WireError, OSError):
+            # The stream died past the client's redelivery budget; no
+            # batch in it has a knowable outcome any more.
+            for rows in batches:
+                self.unknown.update(row[0] for row in rows)
+            raise
+        for rows, response in zip(batches, responses):
+            if response.get("ok"):
+                for row in rows:
+                    self.expected[row[0]] = True
+                self.acked += len(rows)
+                self.pipelined += 1
+            else:
+                for row in rows:
+                    self.expected[row[0]] = False
+                self.rejected += 1
 
     def _explicit_txn(self, client: ReproClient) -> None:
         ids = [self._fresh_id() for __ in range(self.rng.randrange(2, 4))]
@@ -584,6 +626,7 @@ def run_chaos(
         report.ops_unknown += worker.unknown_ops
         report.txns_torn += worker.torn
         report.client_reconnects += worker.reconnects
+        report.pipelined_batches += worker.pipelined
     return report
 
 
@@ -773,6 +816,7 @@ def run_sharded_chaos(
         report.ops_unknown += worker.unknown_ops
         report.txns_torn += worker.torn
         report.client_reconnects += worker.reconnects
+        report.pipelined_batches += worker.pipelined
     return report
 
 

@@ -1,0 +1,32 @@
+"""RPR010 fixture: blocking calls inside serving-layer coroutines.
+
+Only ``handle_blocking`` violates (a sleep and two socket calls); the
+executor shape, the awaited duck-typed send and the plain sync helper
+below it must stay clean.  Every socket-touching function carries a
+``settimeout`` so the fixture trips RPR010 alone, not RPR007.
+"""
+
+import socket
+import time
+
+
+async def handle_blocking(sock: socket.socket) -> None:
+    sock.settimeout(5.0)
+    time.sleep(0.1)
+    data = sock.recv(4096)
+    sock.sendall(data)
+
+
+async def handle_offloaded(loop, executor, sock) -> None:
+    sock.settimeout(5.0)
+    await loop.run_in_executor(executor, sock.recv, 4096)
+
+
+async def awaited_duck_send(stream) -> None:
+    await stream.send(b"frame")
+
+
+def sync_helper(sock: socket.socket) -> bytes:
+    sock.settimeout(5.0)
+    time.sleep(0.01)
+    return sock.recv(10)

@@ -12,7 +12,11 @@ from repro import (
     ReferentialIntegrityViolation,
     check_database,
 )
-from repro.core.batch import batch_delete_parents, batch_insert_children
+from repro.core.batch import (
+    batch_delete_parents,
+    batch_insert_children,
+    batch_insert_rows,
+)
 from repro.nulls import NULL
 from repro.query import dml
 from repro.query.predicate import equalities
@@ -144,6 +148,157 @@ class TestNonAtomicBatchInsert:
             batch_insert_children(db, fk, rows, atomic=False)
         assert db.table("c").row_count == 0
         assert db.verify_integrity().ok
+
+
+class TestVectorizedBatchInsert:
+    """The vectorized K-row insert path (``batch_insert_rows``) must be
+    *bit-for-bit* counter-identical to a loop of per-row ``dml.insert``
+    calls — it shares descents and index walks but replays every logical
+    charge the per-row path would have made."""
+
+    @staticmethod
+    def parity(rows_a, run_vectorized, rows_b=None, loaded_kwargs=None):
+        ds_vec = loaded(**(loaded_kwargs or {}))
+        ds_loop = loaded(**(loaded_kwargs or {}))
+        ds_vec.db.tracker.reset()
+        ds_loop.db.tracker.reset()
+        run_vectorized(ds_vec.db, rows_a)
+        with ds_loop.db.begin():
+            for row in rows_b if rows_b is not None else rows_a:
+                dml.insert(ds_loop.db, "C", row)
+        assert ds_vec.db.tracker.counters == ds_loop.db.tracker.counters
+        assert sorted(ds_vec.child_table.rows(), key=repr) == sorted(
+            ds_loop.child_table.rows(), key=repr
+        )
+        assert check_database(ds_vec.db) == []
+
+    def test_counter_parity_clustered_stream(self):
+        from repro.workloads.synthetic import clustered_insert_stream
+
+        ds = loaded()
+        rows = clustered_insert_stream(ds, 200)
+        self.parity(rows, lambda db, r: batch_insert_rows(db, "C", r))
+
+    def test_counter_parity_scattered_stream(self):
+        ds = loaded(n=4, rows=400)
+        rows = insert_stream(ds, 150)
+        self.parity(
+            rows,
+            lambda db, r: db.batch_insert("C", r),
+            loaded_kwargs={"n": 4, "rows": 400},
+        )
+
+    def test_counter_parity_managed_session(self):
+        from repro.workloads.synthetic import clustered_insert_stream
+
+        ds_vec = loaded()
+        ds_loop = loaded()
+        rows = clustered_insert_stream(ds_vec, 120)
+        s_vec = ds_vec.db.enable_sessions().session()
+        s_loop = ds_loop.db.enable_sessions().session()
+        ds_vec.db.tracker.reset()
+        ds_loop.db.tracker.reset()
+        s_vec.execute(lambda: batch_insert_rows(s_vec.db, "C", rows))
+        s_loop.begin()
+        for row in rows:
+            s_loop.execute(lambda row=row: dml.insert(s_loop.db, "C", row))
+        s_loop.commit()
+        assert ds_vec.db.tracker.counters == ds_loop.db.tracker.counters
+        assert sorted(ds_vec.child_table.rows(), key=repr) == sorted(
+            ds_loop.child_table.rows(), key=repr
+        )
+
+    def test_first_violation_matches_per_row_message(self):
+        ds = loaded()
+        rows = insert_stream(ds, 10)
+        bad = (10**9, 10**9 + 1, NULL, 0)
+        mixed = rows[:4] + [bad] + rows[4:]
+        before = ds.child_table.row_count
+        with pytest.raises(ReferentialIntegrityViolation) as vec_info:
+            batch_insert_rows(ds.db, "C", mixed)
+        assert ds.child_table.row_count == before  # atomic
+        with pytest.raises(ReferentialIntegrityViolation) as row_info:
+            dml.insert(ds.db, "C", bad)
+        assert str(vec_info.value) == str(row_info.value)
+
+    def test_candidate_key_table_stays_per_row_but_vectorizes_probes(self):
+        from repro import DataType, PrimaryKey
+        from repro.errors import KeyViolation
+
+        def build():
+            db = Database("pkbatch")
+            db.create_table("p", [
+                Column("k1", DataType.INTEGER, nullable=False),
+                Column("k2", DataType.INTEGER, nullable=False),
+            ])
+            db.create_table("c", [
+                Column("cid", DataType.INTEGER, nullable=False),
+                Column("f1"), Column("f2"),
+            ])
+            db.add_candidate_key(PrimaryKey("c", ("cid",)))
+            fk = ForeignKey("fk_pk", "c", ("f1", "f2"), "p", ("k1", "k2"),
+                            match=MatchSemantics.PARTIAL)
+            EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+            for k in (1, 2, 3):
+                dml.insert(db, "p", (k, k))
+            return db
+
+        rows = [(i, (i % 3) + 1, NULL) for i in range(30)]
+        db_vec, db_loop = build(), build()
+        db_vec.tracker.reset()
+        db_loop.tracker.reset()
+        batch_insert_rows(db_vec, "c", rows)
+        with db_loop.begin():
+            for row in rows:
+                dml.insert(db_loop, "c", row)
+        assert db_vec.tracker.counters == db_loop.tracker.counters
+        assert sorted(db_vec.table("c").rows()) == sorted(db_loop.table("c").rows())
+        # An in-batch duplicate key must be caught (the per-row physical
+        # phase sees the batch's own earlier rows) and unwind everything.
+        with pytest.raises(KeyViolation):
+            batch_insert_rows(db_vec, "c", [(100, 1, NULL), (100, 2, NULL)])
+        assert db_vec.table("c").row_count == 30
+
+    def test_self_referential_fk_falls_back_to_per_row(self):
+        def build():
+            db = Database("selfref")
+            db.create_table("t", [
+                Column("k1", nullable=False), Column("k2", nullable=False),
+                Column("f1"), Column("f2"),
+            ])
+            fk = ForeignKey("fk_self", "t", ("f1", "f2"), "t", ("k1", "k2"),
+                            match=MatchSemantics.PARTIAL)
+            EnforcedForeignKey.create(db, fk, IndexStructure.BOUNDED)
+            dml.insert(db, "t", (1, 1, NULL, NULL))
+            return db
+
+        # Row 2 references row 1 *of the same batch*: only the per-row
+        # fallback (which the self-referential plan forces) can see it.
+        rows = [(7, 7, 1, 1), (8, 8, 7, 7)]
+        db_vec, db_loop = build(), build()
+        db_vec.tracker.reset()
+        db_loop.tracker.reset()
+        batch_insert_rows(db_vec, "t", rows)
+        with db_loop.begin():
+            for row in rows:
+                dml.insert(db_loop, "t", row)
+        assert db_vec.tracker.counters == db_loop.tracker.counters
+        assert sorted(db_vec.table("t").rows()) == sorted(db_loop.table("t").rows())
+
+    def test_empty_batch(self):
+        ds = loaded()
+        assert batch_insert_rows(ds.db, "C", []) == []
+
+    def test_rollback_inside_explicit_transaction(self):
+        ds = loaded()
+        rows = insert_stream(ds, 15)
+        before = ds.child_table.row_count
+        with pytest.raises(RuntimeError):
+            with ds.db.begin():
+                batch_insert_rows(ds.db, "C", rows)
+                raise RuntimeError
+        assert ds.child_table.row_count == before
+        assert check_database(ds.db) == []
 
 
 class TestBatchDelete:

@@ -144,6 +144,25 @@ def test_rpr009_only_applies_to_sharding_modules():
     assert lint.lint_source(source, "repro.query.dml") == []
 
 
+def test_rpr010_blocking_calls_in_coroutines():
+    violations = _lint_fixture(
+        "rpr010_blocking_in_coroutine.py", module="repro.server.fixture"
+    )
+    assert [v.code for v in violations] == ["RPR010"] * 3
+    assert "time.sleep()" in violations[0].message
+    assert ".recv()" in violations[1].message
+    assert ".sendall()" in violations[2].message
+    # All three sit in handle_blocking; the executor hand-off, the
+    # awaited duck-typed send and the sync helper stay clean.
+    assert all("handle_blocking" in v.message for v in violations)
+
+
+def test_rpr010_only_applies_to_server_modules():
+    source = (FIXTURES / "rpr010_blocking_in_coroutine.py").read_text()
+    assert lint.lint_source(source, "repro.sharding.coordinator") == []
+    assert lint.lint_source(source, "repro.testing.proxy") == []
+
+
 def test_rpr008_versions_module_covered_entirely():
     # Inside repro.storage.versions every function is a snapshot path,
     # whatever its name — locked_read_rows gets flagged there too.
@@ -166,7 +185,7 @@ def test_fixture_directory_trips_every_rule():
         # The socket-guard and decision-log rules are scoped to the
         # serving/sharding layers, so their fixtures lint under the
         # matching module names.
-        if path.stem.startswith("rpr007"):
+        if path.stem.startswith(("rpr007", "rpr010")):
             package = "server"
         elif path.stem.startswith("rpr009"):
             package = "sharding"
